@@ -1,0 +1,62 @@
+/// \file bench_baselines.cpp
+/// Experiment C6 — paper §4: CAS-BUS vs the fixed TAMs it cites:
+/// TestRail/TestShell [4] (static rails, "the TAM and the wrapper are
+/// closely merged, leaving few freedom of decision") and direct
+/// multiplexed access [5].
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "baseline/baselines.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace casbus;
+  using namespace casbus::bench;
+  using namespace casbus::baseline;
+
+  banner("C6", "CAS-BUS vs TestRail [4] vs direct mux access [5]");
+
+  const auto cores = reference_soc_cores();
+
+  Table table({"N", "TAM", "test cycles", "vs CAS-BUS", "TAM area (GE)",
+               "config episodes"},
+              {Align::Right, Align::Left, Align::Right, Align::Right,
+               Align::Right, Align::Right});
+
+  for (const unsigned n : {2u, 4u, 8u, 12u, 16u}) {
+    const TamEvaluation cas = evaluate_casbus(cores, n);
+    const TamEvaluation rail =
+        evaluate_testrail(cores, n, std::min(n, 4u));
+    const TamEvaluation direct = evaluate_direct_mux(cores, n);
+
+    const auto rel = [&](const TamEvaluation& e) {
+      return format_double(static_cast<double>(e.test_cycles) /
+                               static_cast<double>(cas.test_cycles),
+                           2) +
+             "x";
+    };
+    table.add_row({std::to_string(n), "CAS-BUS (this work)",
+                   std::to_string(cas.test_cycles), "1.00x",
+                   format_double(cas.area_ge, 0),
+                   std::to_string(cas.sessions)});
+    table.add_row({"", "TestRail [4]", std::to_string(rail.test_cycles),
+                   rel(rail), format_double(rail.area_ge, 0),
+                   std::to_string(rail.sessions)});
+    table.add_row({"", "direct mux [5]",
+                   std::to_string(direct.test_cycles), rel(direct),
+                   format_double(direct.area_ge, 0),
+                   std::to_string(direct.sessions)});
+    table.add_separator();
+  }
+  table.print(std::cout);
+
+  std::cout
+      << "\nshape: direct access pays full serialization (no concurrency); "
+         "TestRail gains rail-level parallelism but its design-time "
+         "partition cannot adapt per session; CAS-BUS matches or beats "
+         "both by reconfiguring, at a modest area premium over TestRail "
+         "(the cost of the N/P switches) — the paper's §4 positioning.\n";
+  return 0;
+}

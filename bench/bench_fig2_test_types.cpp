@@ -1,0 +1,125 @@
+/// \file bench_fig2_test_types.cpp
+/// Experiment F2 — the four test types supported by the CAS-BUS
+/// (paper Figure 2), each executed cycle-accurately:
+///   (a) scannable core, P = number of scan chains (N/P switching)
+///   (b) BISTed core, P = 1
+///   (c) core tested by an external LFSR source / MISR sink, P = 1
+///   (d) hierarchical core with internal CASed cores, P = child bus width
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sched/time_model.hpp"
+#include "soc/soc.hpp"
+#include "soc/tester.hpp"
+#include "tpg/lfsr.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace casbus;
+  using namespace casbus::bench;
+  using namespace casbus::soc;
+
+  banner("F2", "Figure 2: the four supported core test types on one bus");
+
+  Table table({"fig", "core type", "P", "bus use", "cycles", "predicted",
+               "verdict"},
+              {Align::Left, Align::Left, Align::Right, Align::Left,
+               Align::Right, Align::Right, Align::Left});
+
+  // One SoC hosting all four test types on an 8-wire bus.
+  const auto scan_spec = small_spec(201, 4, 20, 80);
+  const auto ext_spec = small_spec(203, 1, 12, 48);
+  const auto child_a = small_spec(204, 1, 8, 32);
+  const auto child_b = small_spec(205, 2, 10, 40);
+
+  auto soc = SocBuilder(8)
+                 .add_scan_core("scan", scan_spec)
+                 .add_bist_core("bist", small_spec(202, 1, 12, 56), 192)
+                 .add_external_core("ext", ext_spec)
+                 .add_hierarchical_core("hier", 3,
+                                        {{"ca", child_a}, {"cb", child_b}})
+                 .build();
+  SocTester tester(*soc);
+  Rng rng(2);
+
+  // (a) Scan: 4 chains of 5 on 4 wires.
+  {
+    const auto patterns =
+        tpg::PatternSet::random(scan_spec.n_flipflops, 16, rng);
+    ScanSession s;
+    s.targets.push_back(
+        ScanTarget{CoreRef{0, std::nullopt}, {0, 1, 2, 3}, patterns});
+    const auto r = tester.run_scan_session(s);
+    const auto predicted = sched::scan_cycles(5, 16);
+    table.add_row({"2a", "scannable (4 chains)", "4", "wires 0-3",
+                   std::to_string(r.test_cycles),
+                   std::to_string(predicted),
+                   r.all_pass() ? "PASS" : "FAIL"});
+  }
+
+  // (b) BIST: start/verdict handshake on a single wire.
+  {
+    const auto r = tester.run_bist(1, 4, 192);
+    table.add_row({"2b", "BISTed", "1", "wire 4",
+                   std::to_string(r.test_cycles), std::to_string(192 + 2),
+                   r.pass ? "PASS" : "FAIL"});
+  }
+
+  // (c) External source/sink: stimuli from an off-chip LFSR, responses
+  // compacted into an off-chip MISR; the chip sees one serial wire.
+  {
+    tpg::Lfsr source = tpg::Lfsr::standard(16, 0xBEEF);
+    tpg::PatternSet patterns(ext_spec.n_flipflops);
+    for (int p = 0; p < 12; ++p) {
+      BitVector pat(ext_spec.n_flipflops);
+      for (std::size_t b = 0; b < pat.size(); ++b)
+        pat.set(b, source.step());
+      patterns.add(std::move(pat));
+    }
+    ScanSession s;
+    s.targets.push_back(ScanTarget{CoreRef{2, std::nullopt}, {7}, patterns});
+    const auto r = tester.run_scan_session(s);
+
+    // The off-chip MISR compacts the (golden) response stream; a second
+    // MISR fed the observed stream would match exactly when the session
+    // passes — demonstrate with the signature of the golden stream.
+    tpg::Misr sink(16);
+    for (std::size_t p = 0; p < patterns.size(); ++p)
+      sink.feed_word(static_cast<std::uint32_t>(
+          patterns.at(p).to_uint() & 0xFFFF));
+    table.add_row({"2c", "external LFSR/MISR", "1", "wire 7",
+                   std::to_string(r.test_cycles),
+                   std::to_string(sched::scan_cycles(
+                       ext_spec.n_flipflops, patterns.size())),
+                   r.all_pass()
+                       ? "PASS (MISR sig " +
+                             std::to_string(sink.signature()) + ")"
+                       : "FAIL"});
+  }
+
+  // (d) Hierarchical: parent CAS P = 3 (child bus width); both children
+  // tested in parallel through the tunnel.
+  {
+    const auto pa = tpg::PatternSet::random(child_a.n_flipflops, 8, rng);
+    const auto pb = tpg::PatternSet::random(child_b.n_flipflops, 8, rng);
+    ScanSession s;
+    s.routes.push_back(HierarchyRoute{3, {0, 2, 6}});
+    s.targets.push_back(ScanTarget{CoreRef{3, 0}, {0}, pa});
+    s.targets.push_back(ScanTarget{CoreRef{3, 1}, {2, 6}, pb});
+    const auto r = tester.run_scan_session(s);
+    table.add_row({"2d", "hierarchical (2 children)", "3",
+                   "wires 0,2,6 tunneled",
+                   std::to_string(r.test_cycles),
+                   std::to_string(sched::scan_cycles(8, 8)),
+                   r.all_pass() ? "PASS" : "FAIL"});
+  }
+
+  table.print(std::cout);
+  std::cout << "\nAll four Figure-2 access types executed on one "
+               "reconfigurable bus; \"predicted\" is the analytic "
+               "time-model value for the scan part.\n";
+  return 0;
+}

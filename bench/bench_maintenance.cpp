@@ -1,0 +1,84 @@
+/// \file bench_maintenance.cpp
+/// Experiment C4 — paper §4: "In case of maintenance test, it is possible
+/// to test some embedded cores while others are in normal functioning
+/// mode. This is very useful when, e.g., an embedded memory test is
+/// periodically required."
+///
+/// Scenario: two embedded memories; one carries live functional traffic
+/// the whole time while the other undergoes periodic MARCH C- sessions
+/// over the CAS-BUS; a fault injected between sessions is caught by the
+/// next periodic test; the live memory's traffic is never disturbed.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "soc/soc.hpp"
+#include "soc/tester.hpp"
+#include "soc/traffic.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace casbus;
+  using namespace casbus::bench;
+  using namespace casbus::soc;
+
+  banner("C4", "Maintenance test: memory under test, system running");
+
+  auto soc = SocBuilder(4)
+                 .add_memory_core("ram_maint", 32, 8)
+                 .add_memory_core("ram_live", 32, 8)
+                 .add_scan_core("logic", small_spec(701, 2, 12))
+                 .build();
+  MemoryTraffic traffic(*soc, 1, 2024);
+  SocTester tester(*soc);
+  MemoryCore& maint = soc->cores()[0].as_memory();
+
+  Table table({"phase", "cycles", "traffic reads checked",
+               "traffic errors", "MBIST verdict"},
+              {Align::Left, Align::Right, Align::Right, Align::Right,
+               Align::Left});
+
+  traffic.set_enabled(true);
+  tester.step(200);
+  table.add_row({"functional warm-up", std::to_string(tester.cycles()),
+                 std::to_string(traffic.reads_checked()),
+                 std::to_string(traffic.mismatches()), "-"});
+
+  // Periodic maintenance session #1 (fault-free).
+  const auto r1 = tester.run_bist(0, 3, maint.mbist_cycles());
+  table.add_row({"maintenance session 1",
+                 std::to_string(r1.configure_cycles + r1.test_cycles),
+                 std::to_string(traffic.reads_checked()),
+                 std::to_string(traffic.mismatches()),
+                 r1.pass ? "PASS" : "FAIL"});
+
+  // Mission mode continues; a cell fails in the field.
+  tester.step(300);
+  maint.inject_stuck_bit(17, 5, false);
+
+  // Periodic maintenance session #2 must catch it.
+  const auto r2 = tester.run_bist(0, 3, maint.mbist_cycles());
+  table.add_row({"maintenance session 2 (stuck bit injected)",
+                 std::to_string(r2.configure_cycles + r2.test_cycles),
+                 std::to_string(traffic.reads_checked()),
+                 std::to_string(traffic.mismatches()),
+                 r2.pass ? "PASS (MISSED FAULT!)" : "FAIL (fault caught)"});
+
+  tester.step(100);
+  table.add_row({"post-test mission mode", std::to_string(tester.cycles()),
+                 std::to_string(traffic.reads_checked()),
+                 std::to_string(traffic.mismatches()), "-"});
+
+  table.print(std::cout);
+
+  const bool ok = r1.pass && !r2.pass && traffic.mismatches() == 0 &&
+                  traffic.reads_checked() > 0;
+  std::cout << "\nresult: " << (ok ? "CLAIM REPRODUCED" : "UNEXPECTED")
+            << " — the memory was tested in-system twice (second run "
+               "caught the injected stuck bit) while "
+            << traffic.reads_checked()
+            << " live read-backs on the neighbouring memory saw 0 "
+               "errors.\n";
+  return ok ? 0 : 1;
+}

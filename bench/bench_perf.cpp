@@ -1,0 +1,166 @@
+/// \file bench_perf.cpp
+/// Experiment P1 — engineering microbenchmarks (google-benchmark): the
+/// throughputs that bound how large a SoC the cycle-accurate path can
+/// handle, plus generator/optimizer costs.
+
+#include <benchmark/benchmark.h>
+
+#include "core/cas_generator.hpp"
+#include "core/test_bus.hpp"
+#include "netlist/gatesim.hpp"
+#include "netlist/opt.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/simulation.hpp"
+#include "tpg/fault.hpp"
+#include "tpg/lfsr.hpp"
+#include "tpg/synthcore.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace casbus;
+
+/// Cycle-level kernel: a chain of CASes settling + ticking.
+void BM_KernelCasChain(benchmark::State& state) {
+  const auto n_cas = static_cast<std::size_t>(state.range(0));
+  sim::Simulation sim;
+  tam::CasBusChain chain(sim, 8, "bus");
+  for (std::size_t i = 0; i < n_cas; ++i)
+    chain.add_cas("c" + std::to_string(i), 2);
+  sim.reset();
+  chain.head().set_all(Logic4::Zero);
+  for (std::size_t i = 0; i < n_cas; ++i) chain.cas_i(i).set_uint(0);
+
+  std::uint64_t x = 0;
+  for (auto _ : state) {
+    chain.head().set_uint(x++ & 0xFF);
+    sim.step();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n_cas));
+}
+BENCHMARK(BM_KernelCasChain)->Arg(4)->Arg(16)->Arg(64);
+
+/// Gate-level simulation of a generated CAS.
+void BM_GateSimCas(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  const tam::GeneratedCas gen = tam::generate_cas(
+      n, n / 2, {tam::CasImplementation::OptimizedGateLevel, true});
+  netlist::GateSim sim(gen.netlist);
+  sim.reset();
+  Rng rng(1);
+  for (auto _ : state) {
+    for (unsigned w = 0; w < n; ++w)
+      sim.set_input("e" + std::to_string(w), rng.coin());
+    sim.eval();
+    sim.tick();
+    benchmark::DoNotOptimize(sim.output("s0"));
+  }
+  state.counters["cells"] =
+      static_cast<double>(gen.netlist.cell_count());
+}
+BENCHMARK(BM_GateSimCas)->Arg(4)->Arg(8)->Arg(16);
+
+/// Gate-level simulation of a synthetic core (per cycle).
+void BM_GateSimCore(benchmark::State& state) {
+  tpg::SyntheticCoreSpec spec;
+  spec.n_inputs = 16;
+  spec.n_outputs = 16;
+  spec.n_flipflops = 64;
+  spec.n_gates = static_cast<std::size_t>(state.range(0));
+  spec.n_chains = 4;
+  const tpg::SyntheticCore core = tpg::make_synthetic_core(spec);
+  netlist::GateSim sim(core.netlist);
+  sim.reset();
+  Rng rng(2);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < spec.n_inputs; ++i)
+      sim.set_input("pi" + std::to_string(i), rng.coin());
+    sim.set_input("scan_en", false);
+    for (std::size_t c = 0; c < spec.n_chains; ++c)
+      sim.set_input("si" + std::to_string(c), false);
+    sim.eval();
+    sim.tick();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_GateSimCore)->Arg(256)->Arg(1024)->Arg(4096);
+
+/// Serial stuck-at fault simulation (pattern x fault grid).
+void BM_FaultSim(benchmark::State& state) {
+  tpg::SyntheticCoreSpec spec;
+  spec.n_inputs = 8;
+  spec.n_outputs = 8;
+  spec.n_flipflops = 16;
+  spec.n_gates = static_cast<std::size_t>(state.range(0));
+  const tpg::SyntheticCore core = tpg::make_synthetic_core(spec);
+  tpg::FaultSimulator fsim(core.netlist);
+  const auto faults = tpg::enumerate_faults(core.netlist);
+  Rng rng(3);
+  const auto patterns =
+      tpg::PatternSet::random(fsim.pattern_width(), 8, rng);
+  for (auto _ : state) {
+    const auto report = fsim.run(patterns, faults);
+    benchmark::DoNotOptimize(report.detected);
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+}
+BENCHMARK(BM_FaultSim)->Arg(64)->Arg(256);
+
+/// CAS generation + optimization cost.
+void BM_GenerateCas(benchmark::State& state) {
+  const auto n = static_cast<unsigned>(state.range(0));
+  for (auto _ : state) {
+    const auto gen = tam::generate_cas(
+        n, n / 2, {tam::CasImplementation::OptimizedGateLevel, true});
+    benchmark::DoNotOptimize(gen.netlist.cell_count());
+  }
+}
+BENCHMARK(BM_GenerateCas)->Arg(4)->Arg(8)->Arg(16);
+
+/// Logic optimizer on a midsize random netlist.
+void BM_Optimize(benchmark::State& state) {
+  tpg::SyntheticCoreSpec spec;
+  spec.n_gates = static_cast<std::size_t>(state.range(0));
+  spec.n_flipflops = 32;
+  const tpg::SyntheticCore core = tpg::make_synthetic_core(spec);
+  for (auto _ : state) {
+    const auto opt = netlist::optimize(core.netlist);
+    benchmark::DoNotOptimize(opt.cell_count());
+  }
+}
+BENCHMARK(BM_Optimize)->Arg(512)->Arg(2048);
+
+/// LFSR / MISR stepping.
+void BM_LfsrMisr(benchmark::State& state) {
+  tpg::Lfsr lfsr = tpg::Lfsr::standard(32, 0xDEAD);
+  tpg::Misr misr(32);
+  for (auto _ : state) {
+    misr.feed_word(lfsr.step_word());
+    benchmark::DoNotOptimize(misr.signature());
+  }
+}
+BENCHMARK(BM_LfsrMisr);
+
+/// Scheduler on the reference SoC.
+void BM_Scheduler(benchmark::State& state) {
+  std::vector<sched::CoreTestSpec> cores;
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    sched::CoreTestSpec c;
+    c.name = "c" + std::to_string(i);
+    for (int k = 0; k < 4; ++k) c.chains.push_back(20 + rng.below(200));
+    c.patterns = 50 + rng.below(400);
+    cores.push_back(std::move(c));
+  }
+  for (auto _ : state) {
+    sched::SessionScheduler s(cores, 8);
+    benchmark::DoNotOptimize(s.greedy().total_cycles);
+  }
+}
+BENCHMARK(BM_Scheduler);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,124 @@
+/// \file bench_scan_balancing.cpp
+/// Experiment C2 — paper §4: "the test programmer can balance the length
+/// of the scan chains within the test programs, in order to reduce the
+/// test time."
+///
+/// Analytic sweep over random SoCs (naive round-robin vs LPT vs refined
+/// LPT vs the makespan lower bound), then a cycle-accurate validation: the
+/// same physical SoC is tested under a naive and a balanced assignment and
+/// the simulator's cycle counts must match the model.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "sched/balance.hpp"
+#include "sched/time_model.hpp"
+#include "soc/soc.hpp"
+#include "soc/tester.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace casbus;
+  using namespace casbus::bench;
+
+  banner("C2", "Scan-chain balancing across bus wires");
+
+  // --- analytic sweep -------------------------------------------------------
+  {
+    Table table({"SoC", "wires", "chains", "naive max load", "LPT",
+                 "refined", "lower bound", "time saved"},
+                {Align::Left, Align::Right, Align::Right, Align::Right,
+                 Align::Right, Align::Right, Align::Right, Align::Right});
+    Rng rng(42);
+    for (int soc_id = 0; soc_id < 6; ++soc_id) {
+      std::vector<sched::ChainItem> items;
+      const std::size_t n_chains = 6 + rng.below(14);
+      for (std::size_t i = 0; i < n_chains; ++i)
+        items.push_back(
+            sched::ChainItem{i, 0, 10 + rng.below(190)});
+      const auto wires = static_cast<unsigned>(2 + rng.below(7));
+
+      const auto naive = sched::assign_round_robin(items, wires);
+      const auto lpt = sched::assign_lpt(items, wires);
+      const auto refined = sched::assign_lpt_refined(items, wires);
+      const std::size_t lb = sched::balance_lower_bound(items, wires);
+
+      const std::size_t patterns = 128;
+      const auto t_naive = sched::scan_cycles(naive.max_load(), patterns);
+      const auto t_ref = sched::scan_cycles(refined.max_load(), patterns);
+      table.add_row(
+          {"soc" + std::to_string(soc_id), std::to_string(wires),
+           std::to_string(n_chains), std::to_string(naive.max_load()),
+           std::to_string(lpt.max_load()),
+           std::to_string(refined.max_load()), std::to_string(lb),
+           format_double(100.0 * (1.0 - static_cast<double>(t_ref) /
+                                            static_cast<double>(t_naive)),
+                         1) +
+               "%"});
+    }
+    table.print(std::cout);
+  }
+
+  // --- cycle-accurate validation --------------------------------------------
+  std::cout << "\nCycle-accurate check (four single-chain cores on a "
+               "2-wire bus):\n\n";
+  {
+    // Chains: a=12, b=10, c=9, d=8 flip-flops. A naive program packs the
+    // first two cores onto wire 0 (22 bits against 17); the balanced one
+    // pairs long with short (20/19).
+    const auto sa = small_spec(501, 1, 12);
+    const auto sb = small_spec(502, 1, 10);
+    const auto sc = small_spec(503, 1, 9);
+    const auto sd = small_spec(504, 1, 8);
+    Rng rng(7);
+    const auto pa = tpg::PatternSet::random(12, 6, rng);
+    const auto pb = tpg::PatternSet::random(10, 6, rng);
+    const auto pc = tpg::PatternSet::random(9, 6, rng);
+    const auto pd = tpg::PatternSet::random(8, 6, rng);
+
+    Table table({"assignment", "wire loads", "predicted cycles",
+                 "measured cycles", "verdict"},
+                {Align::Left, Align::Left, Align::Right, Align::Right,
+                 Align::Left});
+
+    for (const bool balanced : {false, true}) {
+      auto soc = soc::SocBuilder(2)
+                     .add_scan_core("a", sa)
+                     .add_scan_core("b", sb)
+                     .add_scan_core("c", sc)
+                     .add_scan_core("d", sd)
+                     .build();
+      soc::SocTester tester(*soc);
+      soc::ScanSession session;
+      const std::vector<unsigned> wa = balanced
+                                           ? std::vector<unsigned>{0, 1, 1, 0}
+                                           : std::vector<unsigned>{0, 0, 1, 1};
+      session.targets.push_back(
+          soc::ScanTarget{soc::CoreRef{0, std::nullopt}, {wa[0]}, pa});
+      session.targets.push_back(
+          soc::ScanTarget{soc::CoreRef{1, std::nullopt}, {wa[1]}, pb});
+      session.targets.push_back(
+          soc::ScanTarget{soc::CoreRef{2, std::nullopt}, {wa[2]}, pc});
+      session.targets.push_back(
+          soc::ScanTarget{soc::CoreRef{3, std::nullopt}, {wa[3]}, pd});
+      const auto r = tester.run_scan_session(session);
+      const std::size_t max_load = balanced ? 20 : 22;
+      const auto predicted = sched::scan_cycles(max_load, 6);
+      table.add_row({balanced ? "balanced (a+d | b+c)" : "naive (a+b | c+d)",
+                     balanced ? "20 / 19" : "22 / 17",
+                     std::to_string(predicted),
+                     std::to_string(r.test_cycles),
+                     (r.all_pass() && r.test_cycles == predicted)
+                         ? "PASS, model exact"
+                         : "CHECK"});
+    }
+    table.print(std::cout);
+  }
+
+  std::cout << "\nCores daisy-chain along a shared wire in bus order; the "
+               "balanced program pairs long chains with short ones and the "
+               "measured cycle counts confirm the §4 claim exactly.\n";
+  return 0;
+}

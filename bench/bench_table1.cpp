@@ -1,0 +1,95 @@
+/// \file bench_table1.cpp
+/// Experiment T1 — reproduction of the paper's Table 1 (CAS synthesis
+/// results).
+///
+/// Columns m and k are combinatorial facts and must match the paper
+/// exactly. Gate counts substitute our gate-equivalent model for Synopsys
+/// synthesis on an unnamed library (DESIGN.md §6): we report the generated
+/// cell count raw and optimized, total gate-equivalents, and GE excluding
+/// the instruction-register flip-flops, next to the paper's figure, so the
+/// growth trend across (N, P) can be compared directly.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "core/cas_generator.hpp"
+#include "core/instruction.hpp"
+#include "netlist/area.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace casbus;
+  using namespace casbus::bench;
+
+  banner("T1", "Table 1: CAS synthesis results (paper vs this library)");
+
+  const netlist::AreaModel ge = netlist::AreaModel::typical();
+  Table table({"N", "P", "m", "k", "m ok", "k ok", "cells raw",
+               "cells opt", "GE opt", "GE w/o IR", "paper gates"});
+
+  bool all_mk_match = true;
+  for (const Table1Row& row : table1_rows()) {
+    const tam::InstructionSet isa(row.n, row.p);
+    const bool m_ok = isa.m() == row.m;
+    const bool k_ok = isa.k() == row.k;
+    all_mk_match = all_mk_match && m_ok && k_ok;
+
+    const tam::GeneratedCas raw = tam::generate_cas(
+        row.n, row.p, {tam::CasImplementation::Generic, false});
+    const tam::GeneratedCas opt = tam::generate_cas(
+        row.n, row.p, {tam::CasImplementation::Generic, true});
+
+    const double ge_total = ge.total(opt.netlist);
+    // The paper's "# of gates" for e.g. N=3/P=1 (16 gates) cannot include
+    // the 2k instruction-register flip-flops, so we also report the
+    // combinational switch+decode logic alone.
+    double ge_ff = 0.0;
+    for (const auto& cell : opt.netlist.cells())
+      if (netlist::is_sequential(cell.kind))
+        ge_ff += ge.cost(cell.kind);
+
+    table.add_row({std::to_string(row.n), std::to_string(row.p),
+                   std::to_string(isa.m()), std::to_string(isa.k()),
+                   m_ok ? "yes" : "NO", k_ok ? "yes" : "NO",
+                   std::to_string(raw.netlist.cell_count()),
+                   std::to_string(opt.netlist.cell_count()),
+                   format_double(ge_total, 0),
+                   format_double(ge_total - ge_ff, 0),
+                   std::to_string(row.paper_gates)});
+  }
+  table.print(std::cout);
+
+  std::cout << "\nm = A(N,P) + 2 and k = ceil(log2 m) match the paper: "
+            << (all_mk_match ? "ALL 12 ROWS" : "MISMATCH FOUND") << "\n";
+
+  // Trend check: Pearson correlation between log(paper gates) and
+  // log(our optimized GE) across the 12 rows.
+  {
+    std::vector<double> xs, ys;
+    for (const Table1Row& row : table1_rows()) {
+      const tam::GeneratedCas opt = tam::generate_cas(
+          row.n, row.p, {tam::CasImplementation::Generic, true});
+      xs.push_back(std::log(static_cast<double>(row.paper_gates)));
+      ys.push_back(std::log(ge.total(opt.netlist)));
+    }
+    double mx = 0, my = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      mx += xs[i];
+      my += ys[i];
+    }
+    mx /= static_cast<double>(xs.size());
+    my /= static_cast<double>(ys.size());
+    double sxy = 0, sxx = 0, syy = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+      sxy += (xs[i] - mx) * (ys[i] - my);
+      sxx += (xs[i] - mx) * (xs[i] - mx);
+      syy += (ys[i] - my) * (ys[i] - my);
+    }
+    std::cout << "log-log correlation(paper gates, our GE) = "
+              << format_double(sxy / std::sqrt(sxx * syy), 3)
+              << "  (1.0 = identical growth shape)\n";
+  }
+  return 0;
+}

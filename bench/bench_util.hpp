@@ -1,0 +1,73 @@
+/// \file bench_util.hpp
+/// Shared helpers for the experiment harnesses: the paper's Table 1 rows,
+/// reference SoC core sets, and common printing.
+
+#pragma once
+
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "sched/time_model.hpp"
+#include "tpg/synthcore.hpp"
+
+namespace casbus::bench {
+
+/// One row of the paper's Table 1 (CAS synthesis results).
+struct Table1Row {
+  unsigned n, p;
+  std::uint64_t m;
+  unsigned k;
+  unsigned paper_gates;
+};
+
+/// The twelve rows exactly as printed in the paper.
+inline const std::vector<Table1Row>& table1_rows() {
+  static const std::vector<Table1Row> rows = {
+      {3, 1, 5, 3, 16},     {4, 1, 6, 3, 23},    {4, 2, 14, 4, 64},
+      {4, 3, 26, 5, 118},   {5, 1, 7, 3, 28},    {5, 2, 22, 5, 85},
+      {5, 3, 62, 6, 205},   {6, 1, 8, 3, 33},    {6, 2, 32, 5, 134},
+      {6, 3, 122, 7, 280},  {6, 5, 722, 10, 1154}, {8, 4, 1682, 11, 4400},
+  };
+  return rows;
+}
+
+/// A medium reference SoC (10 cores) used by the scheduling experiments:
+/// chain lengths and pattern counts in the range of late-90s cores.
+inline std::vector<sched::CoreTestSpec> reference_soc_cores() {
+  return {
+      sched::CoreTestSpec{"cpu", {128, 121, 115, 96}, 256, 0},
+      sched::CoreTestSpec{"dsp", {84, 80, 77}, 192, 0},
+      sched::CoreTestSpec{"mpeg", {140, 133}, 210, 0},
+      sched::CoreTestSpec{"usb", {42, 40}, 96, 0},
+      sched::CoreTestSpec{"uart", {24}, 48, 0},
+      sched::CoreTestSpec{"gpio", {16}, 32, 0},
+      sched::CoreTestSpec{"crypto", {96, 90, 88, 85}, 300, 0},
+      sched::CoreTestSpec{"lbist_a", {}, 0, 8192},
+      sched::CoreTestSpec{"lbist_b", {}, 0, 4096},
+      sched::CoreTestSpec{"sram", {}, 0, 2560},
+  };
+}
+
+/// Small synthetic-core spec for cycle-accurate experiments.
+inline tpg::SyntheticCoreSpec small_spec(std::uint64_t seed,
+                                         std::size_t chains,
+                                         std::size_t ffs = 12,
+                                         std::size_t gates = 48) {
+  tpg::SyntheticCoreSpec spec;
+  spec.n_inputs = 4;
+  spec.n_outputs = 4;
+  spec.n_flipflops = ffs;
+  spec.n_gates = gates;
+  spec.n_chains = chains;
+  spec.seed = seed;
+  return spec;
+}
+
+/// Prints an experiment banner.
+inline void banner(const std::string& id, const std::string& title) {
+  std::cout << "\n=== " << id << " — " << title << " ===\n\n";
+}
+
+}  // namespace casbus::bench

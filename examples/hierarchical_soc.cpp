@@ -1,0 +1,98 @@
+/// \file hierarchical_soc.cpp
+/// Hierarchical test access (paper Fig. 2d): a subsystem core embeds its
+/// own CAS-BUS; the parent CAS tunnels top-level bus wires into the child
+/// bus, and the child CASes are configured *through* the parent.
+///
+/// This example walks the two-level configuration explicitly so the
+/// mechanism is visible, then runs both children in parallel.
+
+#include <iostream>
+
+#include "core/config_protocol.hpp"
+#include "soc/soc.hpp"
+#include "soc/tester.hpp"
+#include "tpg/patterns.hpp"
+#include "util/rng.hpp"
+
+int main() {
+  using namespace casbus;
+  using namespace casbus::soc;
+
+  // Subsystem with two sub-cores on an internal 2-wire bus.
+  tpg::SyntheticCoreSpec sub_a;
+  sub_a.n_flipflops = 10;
+  sub_a.n_chains = 1;
+  sub_a.seed = 11;
+  tpg::SyntheticCoreSpec sub_b = sub_a;
+  sub_b.n_flipflops = 8;
+  sub_b.seed = 12;
+
+  tpg::SyntheticCoreSpec top_core;
+  top_core.n_flipflops = 12;
+  top_core.n_chains = 2;
+  top_core.seed = 13;
+
+  auto soc = SocBuilder(5)
+                 .add_scan_core("modem", top_core)
+                 .add_hierarchical_core("subsys", 2,
+                                        {{"sub_a", sub_a}, {"sub_b", sub_b}})
+                 .build();
+  SocTester tester(*soc);
+
+  const CoreInstance& subsys = soc->cores()[1];
+  std::cout << "parent CAS geometry: N=" << soc->bus().width()
+            << ", P=" << soc->bus().cas(1).p()
+            << " (= child bus width)\n"
+            << "child bus: " << subsys.hier->bus->size()
+            << " CASes, config chain " << subsys.hier->bus->total_ir_bits()
+            << " bits\n\n";
+
+  // --- Manual two-level configuration (what run_scan_session automates) ---
+  // Level 0: parent CAS routes top wires {3,4} onto child wires {0,1};
+  // the modem CAS stays in BYPASS.
+  const auto parent_code = soc->bus().cas(1).isa().encode(
+      tam::SwitchScheme({3, 4}, 5));
+  std::cout << "level-0 configuration: modem=BYPASS, subsys=TEST code "
+            << parent_code << "\n";
+  tester.configure_bus({tam::InstructionSet::kBypassCode, parent_code});
+
+  // Level 1: with the tunnel up, the child chain is reachable through top
+  // wire 3 (child wire 0): route child wire 0 to sub_a, child wire 1 to
+  // sub_b.
+  const auto code_a =
+      subsys.hier->bus->cas(0).isa().encode(tam::SwitchScheme({0}, 2));
+  const auto code_b =
+      subsys.hier->bus->cas(1).isa().encode(tam::SwitchScheme({1}, 2));
+  std::cout << "level-1 configuration (tunneled through wire 3): sub_a="
+            << code_a << ", sub_b=" << code_b << "\n";
+  tester.configure_child_bus(1, 3, {code_a, code_b});
+
+  std::cout << "child CAS instructions now: "
+            << subsys.hier->bus->cas(0).instruction() << ", "
+            << subsys.hier->bus->cas(1).instruction() << "\n\n";
+
+  // --- Full session through the public API --------------------------------
+  Rng rng(3);
+  ScanSession session;
+  session.routes.push_back(HierarchyRoute{1, {3, 4}});
+  session.targets.push_back(ScanTarget{
+      CoreRef{1, 0}, {3}, tpg::PatternSet::random(10, 12, rng)});
+  session.targets.push_back(ScanTarget{
+      CoreRef{1, 1}, {4}, tpg::PatternSet::random(8, 12, rng)});
+  // The top-level modem tests concurrently on the remaining wires.
+  session.targets.push_back(ScanTarget{
+      CoreRef{0, std::nullopt}, {0, 1},
+      tpg::PatternSet::random(12, 12, rng)});
+
+  const ScanSessionResult r = tester.run_scan_session(session);
+  std::cout << "session: " << r.test_cycles << " test cycles, targets:\n";
+  const char* names[] = {"subsys.sub_a", "subsys.sub_b", "modem"};
+  for (std::size_t i = 0; i < r.targets.size(); ++i)
+    std::cout << "  " << names[i] << ": "
+              << (r.targets[i].mismatches == 0 ? "PASS" : "FAIL") << " ("
+              << r.targets[i].patterns_applied << " patterns)\n";
+
+  std::cout << "\nhierarchy tested without degrading reconfigurability — "
+               "the paper's Fig. 2d scenario.\n";
+  return r.all_pass() ? 0 : 1;
+}

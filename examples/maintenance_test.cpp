@@ -1,0 +1,68 @@
+/// \file maintenance_test.cpp
+/// In-system (maintenance) testing, paper §4: an embedded memory is
+/// periodically MARCH-tested over the CAS-BUS while the rest of the system
+/// keeps running. A field failure injected between two periodic sessions
+/// is caught by the second one; live traffic never sees an error.
+
+#include <iostream>
+
+#include "soc/soc.hpp"
+#include "soc/tester.hpp"
+#include "soc/traffic.hpp"
+
+int main() {
+  using namespace casbus;
+  using namespace casbus::soc;
+
+  tpg::SyntheticCoreSpec logic;
+  logic.n_flipflops = 12;
+  logic.n_chains = 2;
+  logic.seed = 9;
+
+  auto soc = SocBuilder(4)
+                 .add_memory_core("dram_ctrl_ram", 64, 8)
+                 .add_memory_core("packet_buffer", 64, 8)
+                 .add_scan_core("mac", logic)
+                 .build();
+
+  // Live traffic exercises packet_buffer's functional port continuously.
+  MemoryTraffic traffic(*soc, 1, /*seed=*/555);
+  SocTester tester(*soc);
+  MemoryCore& ram = soc->cores()[0].as_memory();
+
+  traffic.set_enabled(true);
+  tester.step(500);
+  std::cout << "mission mode: " << traffic.operations() << " memory ops, "
+            << traffic.reads_checked() << " read-backs verified, "
+            << traffic.mismatches() << " errors\n";
+
+  // Periodic maintenance window #1.
+  const BistRunResult s1 = tester.run_bist(0, 3, ram.mbist_cycles());
+  std::cout << "maintenance session 1: "
+            << (s1.pass ? "PASS" : "FAIL") << " ("
+            << s1.configure_cycles + s1.test_cycles
+            << " cycles; traffic kept running)\n";
+
+  // The system keeps operating; a storage cell fails in the field.
+  tester.step(800);
+  ram.inject_stuck_bit(/*addr=*/42, /*bit=*/6, /*stuck_one=*/true);
+  std::cout << "field failure injected at word 42, bit 6\n";
+
+  // Periodic maintenance window #2 catches it.
+  const BistRunResult s2 = tester.run_bist(0, 3, ram.mbist_cycles());
+  std::cout << "maintenance session 2: "
+            << (s2.pass ? "PASS (should have failed!)"
+                        : "FAIL -> fault detected in-system")
+            << "\n";
+
+  tester.step(200);
+  std::cout << "\nfinal traffic tally: " << traffic.reads_checked()
+            << " verified read-backs, " << traffic.mismatches()
+            << " errors during the whole scenario\n";
+
+  const bool ok = s1.pass && !s2.pass && traffic.mismatches() == 0;
+  std::cout << (ok ? "maintenance-test claim reproduced."
+                   : "unexpected outcome!")
+            << "\n";
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,147 @@
+#include "baseline/baselines.hpp"
+
+#include <algorithm>
+#include <map>
+#include <numeric>
+
+#include "core/cas_generator.hpp"
+#include "netlist/area.hpp"
+#include "sched/scheduler.hpp"
+
+namespace casbus::baseline {
+
+using sched::ChainItem;
+using sched::CoreTestSpec;
+
+namespace {
+
+/// Gate-equivalent cost constants shared by the analytic area models
+/// (values from netlist::AreaModel::typical()).
+constexpr double kMux2Ge = 2.25;
+constexpr double kDffGe = 5.5;
+
+/// Balanced per-core scan time on \p wires dedicated wires.
+std::uint64_t solo_scan_cycles(const CoreTestSpec& core, unsigned wires) {
+  std::vector<ChainItem> items;
+  for (std::size_t c = 0; c < core.chains.size(); ++c)
+    items.push_back(ChainItem{0, c, core.chains[c]});
+  const sched::Balance b = sched::assign_lpt_refined(items, wires);
+  return sched::scan_cycles(b.max_load(), core.patterns);
+}
+
+}  // namespace
+
+TamEvaluation evaluate_direct_mux(const std::vector<CoreTestSpec>& cores,
+                                  unsigned width) {
+  CASBUS_REQUIRE(width >= 1, "direct mux: width >= 1");
+  TamEvaluation eval;
+  eval.tam_name = "direct-mux";
+  eval.sessions = cores.size();
+
+  for (const CoreTestSpec& core : cores) {
+    if (core.is_scan()) {
+      const auto pins = static_cast<unsigned>(
+          std::min<std::size_t>(core.chains.size(), width));
+      eval.test_cycles += solo_scan_cycles(core, pins);
+    }
+    eval.test_cycles += core.bist_cycles;
+  }
+
+  // One selection mux tree per pin direction: each of `width` pins selects
+  // among all cores (cores-1 mux2 cells), for stimulus and response sides.
+  if (cores.size() > 1)
+    eval.area_ge = 2.0 * width *
+                   static_cast<double>(cores.size() - 1) * kMux2Ge;
+  return eval;
+}
+
+TamEvaluation evaluate_testrail(const std::vector<CoreTestSpec>& cores,
+                                unsigned width, unsigned rails) {
+  CASBUS_REQUIRE(rails >= 1 && rails <= width,
+                 "testrail: need 1 <= rails <= width");
+  TamEvaluation eval;
+  eval.tam_name = "testrail";
+  eval.sessions = 1;  // fixed at design time
+
+  // Rail widths as equal as possible.
+  std::vector<unsigned> rail_width(rails, width / rails);
+  for (unsigned r = 0; r < width % rails; ++r) ++rail_width[r];
+
+  // Design-time assignment: LPT on each core's standalone test load.
+  std::vector<std::size_t> order(cores.size());
+  std::iota(order.begin(), order.end(), 0);
+  const auto load_of = [&](std::size_t i) {
+    const CoreTestSpec& c = cores[i];
+    if (c.is_scan())
+      return static_cast<std::uint64_t>(c.patterns) * c.total_scan_bits();
+    return c.bist_cycles;
+  };
+  std::stable_sort(order.begin(), order.end(), [&](auto a, auto b) {
+    return load_of(a) > load_of(b);
+  });
+
+  std::vector<std::uint64_t> rail_time(rails, 0);
+  std::vector<std::size_t> rail_cores(rails, 0);
+  std::vector<std::vector<std::size_t>> rail_members(rails);
+  for (const std::size_t i : order) {
+    const auto r = static_cast<unsigned>(
+        std::min_element(rail_time.begin(), rail_time.end()) -
+        rail_time.begin());
+    const CoreTestSpec& c = cores[i];
+    std::uint64_t t = 0;
+    if (c.is_scan()) t += solo_scan_cycles(c, rail_width[r]);
+    t += c.bist_cycles;
+    rail_time[r] += t;
+    rail_members[r].push_back(i);
+    ++rail_cores[r];
+  }
+
+  // Shell bypass overhead: while a core is tested, every idle core on its
+  // rail adds one bypass flip-flop to the shift path -> +patterns*(m-1)
+  // cycles per scan core on a rail with m cores.
+  for (unsigned r = 0; r < rails; ++r) {
+    if (rail_members[r].size() < 2) continue;
+    for (const std::size_t i : rail_members[r]) {
+      if (cores[i].is_scan())
+        rail_time[r] += cores[i].patterns * (rail_members[r].size() - 1);
+    }
+  }
+
+  eval.test_cycles = *std::max_element(rail_time.begin(), rail_time.end());
+
+  // TestShell per core: per rail wire a bypass DFF and a routing mux, both
+  // directions.
+  for (unsigned r = 0; r < rails; ++r)
+    eval.area_ge += static_cast<double>(rail_cores[r]) * rail_width[r] *
+                    (kDffGe + 2.0 * kMux2Ge);
+  return eval;
+}
+
+TamEvaluation evaluate_casbus(const std::vector<CoreTestSpec>& cores,
+                              unsigned width) {
+  TamEvaluation eval;
+  eval.tam_name = "cas-bus";
+
+  sched::SessionScheduler scheduler(cores, width);
+  const sched::Schedule schedule = scheduler.best();
+  eval.test_cycles = schedule.total_cycles;
+  eval.sessions = schedule.sessions.size();
+
+  const netlist::AreaModel area = netlist::AreaModel::typical();
+  std::map<unsigned, double> cache;
+  for (const CoreTestSpec& core : cores) {
+    const auto p = static_cast<unsigned>(
+        core.is_scan() ? std::min<std::size_t>(core.chains.size(), width)
+                       : 1);
+    auto it = cache.find(p);
+    if (it == cache.end()) {
+      const tam::GeneratedCas cas = tam::generate_cas(
+          width, p, {tam::CasImplementation::OptimizedGateLevel, true});
+      it = cache.emplace(p, area.total(cas.netlist)).first;
+    }
+    eval.area_ge += it->second;
+  }
+  return eval;
+}
+
+}  // namespace casbus::baseline

@@ -1,0 +1,59 @@
+/// \file baselines.hpp
+/// Baseline TAM architectures the paper positions CAS-BUS against (§4):
+///
+///  - [4] Marinissen et al., "A structured and scalable mechanism for test
+///    access to embedded reusable cores" (TestRail/TestShell): the N TAM
+///    wires are partitioned into rails at *design time*; cores on one rail
+///    daisy-chain through their TestShells and are tested sequentially;
+///    rails operate in parallel. No run-time reconfiguration ("the TAM and
+///    the wrapper are closely merged, leaving few freedom of decision to
+///    the system integrator").
+///
+///  - [5] Varma & Bhatia, "A structured test re-use methodology" (direct
+///    multiplexed test bus): each core's test terminals are multiplexed to
+///    chip pins; one core is tested at a time at full pin parallelism.
+///
+/// Both are modeled analytically with the same validated time formulas the
+/// CAS-BUS scheduler uses, so the comparison isolates the architectural
+/// difference (reconfigurability and wire sharing) rather than modeling
+/// artifacts.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sched/balance.hpp"
+#include "sched/time_model.hpp"
+
+namespace casbus::baseline {
+
+/// Result of evaluating one TAM on one SoC.
+struct TamEvaluation {
+  std::string tam_name;
+  std::uint64_t test_cycles = 0;
+  double area_ge = 0.0;        ///< TAM logic area (switches/shells/muxes)
+  std::size_t sessions = 0;    ///< configuration episodes
+};
+
+/// Direct multiplexed access [5]: cores tested one at a time; each core's
+/// chains are balanced over min(width, chains) pins; a mux tree per pin
+/// selects among cores.
+TamEvaluation evaluate_direct_mux(
+    const std::vector<sched::CoreTestSpec>& cores, unsigned width);
+
+/// TestRail [4]: wires split into \p rails fixed rails (widths as equal as
+/// possible); cores assigned to rails by LPT on their total test load at
+/// design time; within a rail cores run sequentially through their shells
+/// (1 bypass bit per idle core on the rail); rails run in parallel.
+TamEvaluation evaluate_testrail(
+    const std::vector<sched::CoreTestSpec>& cores, unsigned width,
+    unsigned rails);
+
+/// CAS-BUS with the greedy reconfiguring scheduler plus generated-CAS area
+/// (optimized gate-level implementation).
+TamEvaluation evaluate_casbus(
+    const std::vector<sched::CoreTestSpec>& cores, unsigned width);
+
+}  // namespace casbus::baseline

@@ -1,0 +1,61 @@
+#include "core/arrangement.hpp"
+
+#include <algorithm>
+
+namespace casbus::tam {
+
+std::uint64_t arrangement_count(unsigned n, unsigned p) {
+  CASBUS_REQUIRE(p <= n, "arrangement_count requires p <= n");
+  std::uint64_t result = 1;
+  for (unsigned i = 0; i < p; ++i) {
+    const std::uint64_t factor = n - i;
+    CASBUS_REQUIRE(result <= UINT64_MAX / factor,
+                   "arrangement_count overflows 64 bits");
+    result *= factor;
+  }
+  return result;
+}
+
+std::uint64_t arrangement_rank(const std::vector<unsigned>& wires,
+                               unsigned n) {
+  const auto p = static_cast<unsigned>(wires.size());
+  CASBUS_REQUIRE(p <= n, "arrangement_rank: more wires than bus width");
+  std::vector<bool> used(n, false);
+  std::uint64_t rank = 0;
+  for (unsigned j = 0; j < p; ++j) {
+    const unsigned w = wires[j];
+    CASBUS_REQUIRE(w < n, "arrangement_rank: wire index out of range");
+    CASBUS_REQUIRE(!used[w], "arrangement_rank: duplicate wire");
+    // Digit: how many unused wires precede w.
+    unsigned digit = 0;
+    for (unsigned v = 0; v < w; ++v)
+      if (!used[v]) ++digit;
+    rank += digit * arrangement_count(n - j - 1, p - j - 1);
+    used[w] = true;
+  }
+  return rank;
+}
+
+std::vector<unsigned> arrangement_unrank(std::uint64_t rank, unsigned n,
+                                         unsigned p) {
+  CASBUS_REQUIRE(p <= n, "arrangement_unrank requires p <= n");
+  CASBUS_REQUIRE(rank < arrangement_count(n, p),
+                 "arrangement_unrank: rank out of range");
+  std::vector<unsigned> available;
+  available.reserve(n);
+  for (unsigned v = 0; v < n; ++v) available.push_back(v);
+
+  std::vector<unsigned> wires;
+  wires.reserve(p);
+  for (unsigned j = 0; j < p; ++j) {
+    const std::uint64_t stride = arrangement_count(n - j - 1, p - j - 1);
+    const auto digit = static_cast<std::size_t>(rank / stride);
+    rank %= stride;
+    wires.push_back(available[digit]);
+    available.erase(available.begin() +
+                    static_cast<std::ptrdiff_t>(digit));
+  }
+  return wires;
+}
+
+}  // namespace casbus::tam

@@ -1,0 +1,35 @@
+/// \file arrangement.hpp
+/// Counting and lexicographic ranking of wire-to-port arrangements.
+///
+/// A CAS in TEST mode connects P core ports to P *distinct* bus wires out
+/// of N; the paper's routing heuristic makes the return path implicit, so a
+/// switch scheme is exactly an ordered arrangement of P wires out of N.
+/// The number of TEST instructions is therefore A(N,P) = N!/(N-P)! and the
+/// total instruction count is m = A(N,P) + 2 (BYPASS and CONFIGURATION);
+/// this reproduces column m of the paper's Table 1 for every row.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace casbus::tam {
+
+/// Number of ordered arrangements of \p p items out of \p n:
+/// A(n,p) = n * (n-1) * ... * (n-p+1); A(n,0) = 1.
+/// Throws PreconditionError when p > n or the value overflows 64 bits.
+std::uint64_t arrangement_count(unsigned n, unsigned p);
+
+/// Lexicographic rank of the arrangement \p wires (w_0, ..., w_{P-1}),
+/// all distinct values < \p n, among all A(n, wires.size()) arrangements.
+std::uint64_t arrangement_rank(const std::vector<unsigned>& wires,
+                               unsigned n);
+
+/// Inverse of arrangement_rank: the \p rank-th arrangement of \p p wires
+/// out of \p n in lexicographic order.
+std::vector<unsigned> arrangement_unrank(std::uint64_t rank, unsigned n,
+                                         unsigned p);
+
+}  // namespace casbus::tam

@@ -1,0 +1,270 @@
+#include "core/cas_generator.hpp"
+
+#include <sstream>
+#include <vector>
+
+#include "netlist/arith.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/opt.hpp"
+
+namespace casbus::tam {
+
+using netlist::NetId;
+using netlist::NetlistBuilder;
+
+namespace {
+
+/// Ports and instruction-register plumbing shared by both implementations
+/// (the non-switch part of Fig. 3).
+struct CasFrame {
+  std::vector<NetId> e;  ///< bus inputs
+  std::vector<NetId> i;  ///< core-side inputs
+  NetId config = netlist::kNoNet;
+  NetId update = netlist::kNoNet;
+  std::vector<NetId> ir_q;  ///< update-stage code bits (c0..ck-1 of Fig. 3)
+  NetId chain_active = netlist::kNoNet;
+  NetId not_chain = netlist::kNoNet;
+  NetId sr_tail = netlist::kNoNet;
+};
+
+CasFrame build_frame(NetlistBuilder& b, const InstructionSet& isa) {
+  CasFrame f;
+  const unsigned n = isa.n();
+  const unsigned p = isa.p();
+  const unsigned k = isa.k();
+
+  for (unsigned w = 0; w < n; ++w) {
+    std::ostringstream os;
+    os << 'e' << w;
+    f.e.push_back(b.input(os.str()));
+  }
+  for (unsigned j = 0; j < p; ++j) {
+    std::ostringstream os;
+    os << 'i' << j;
+    f.i.push_back(b.input(os.str()));
+  }
+  f.config = b.input("config");
+  f.update = b.input("update");
+
+  // Update stage first: its outputs exist before the shift stage needs its
+  // enable, and the CONFIGURATION-instruction feedback reads them.
+  std::vector<NetId> ir_q;
+  for (unsigned j = 0; j < k; ++j) {
+    std::ostringstream os;
+    os << "ir" << j;
+    ir_q.push_back(b.net(os.str()));
+  }
+  const NetId is_config_instr =
+      b.eq_const(ir_q, InstructionSet::kConfigCode);
+  f.chain_active = b.or2(f.config, is_config_instr);
+  f.not_chain = b.not_(f.chain_active);
+
+  // Shift stage: k enabled flip-flops fed from e0 (paper: "the instruction
+  // registers of all the CASes are connected to each other through the
+  // first serial test bus wire"). Shifting pauses during the update pulse,
+  // matching CasBehavior::tick.
+  const NetId shift_en = b.and2(f.chain_active, b.not_(f.update));
+  std::vector<NetId> sr_q;
+  NetId prev = f.e[0];
+  for (unsigned j = 0; j < k; ++j) {
+    std::ostringstream os;
+    os << "sr" << j;
+    const NetId q = b.dffe(prev, shift_en, os.str());
+    sr_q.push_back(q);
+    prev = q;
+  }
+  f.sr_tail = sr_q[k - 1];
+
+  // Update stage flip-flops onto the pre-allocated ir nets.
+  for (unsigned j = 0; j < k; ++j) b.dffe_into(sr_q[j], f.update, ir_q[j]);
+  f.ir_q = std::move(ir_q);
+  return f;
+}
+
+/// Emits the output side common to both variants from per-(port, wire)
+/// select signals: sel[j][w] = 1 iff the active TEST scheme routes
+/// e_w -> o_j (and, by the heuristic, i_j -> s_w).
+void build_switch_outputs(NetlistBuilder& b, const InstructionSet& isa,
+                          const CasFrame& f,
+                          const std::vector<std::vector<NetId>>& sel,
+                          NetId test_any) {
+  const unsigned n = isa.n();
+  const unsigned p = isa.p();
+
+  // Core-side outputs: tri-stated AND-OR selection over bus inputs.
+  const NetId o_enable = b.and2(test_any, f.not_chain);
+  for (unsigned j = 0; j < p; ++j) {
+    const NetId data = b.mux_onehot(sel[j], f.e);
+    std::ostringstream os;
+    os << 'o' << j;
+    b.output(os.str(), b.tribuf(o_enable, data));
+  }
+
+  // Bus-side outputs: claimed wires carry the heuristic return path,
+  // unclaimed wires bypass, and wire 0 additionally carries the
+  // instruction-register tail whenever the chain is active.
+  for (unsigned w = 0; w < n; ++w) {
+    std::vector<NetId> claims;
+    claims.reserve(p);
+    for (unsigned j = 0; j < p; ++j) claims.push_back(sel[j][w]);
+    const NetId claimed = b.or_n(claims);
+
+    std::vector<NetId> returns;
+    returns.reserve(p);
+    for (unsigned j = 0; j < p; ++j) returns.push_back(f.i[j]);
+    const NetId ret = b.mux_onehot(claims, returns);
+
+    NetId out = b.mux2(claimed, f.e[w], ret);
+    if (w == 0) out = b.mux2(f.chain_active, out, f.sr_tail);
+    else out = b.mux2(f.chain_active, out, f.e[w]);
+    std::ostringstream os;
+    os << 's' << w;
+    b.output(os.str(), out);
+  }
+}
+
+/// Generic implementation: full one-hot decode of the m-code space.
+void build_generic_switch(NetlistBuilder& b, const InstructionSet& isa,
+                          const CasFrame& f) {
+  const unsigned n = isa.n();
+  const unsigned p = isa.p();
+  const std::uint64_t m = isa.m();
+  CASBUS_REQUIRE(m <= (1ULL << 20),
+                 "generic CAS decode limited to 2^20 instructions; use "
+                 "OptimizedGateLevel for wider configurations");
+
+  const std::vector<NetId> dec =
+      b.decoder(f.ir_q, static_cast<std::size_t>(m));
+
+  // sel[j][w]: OR of the one-hot lines of every arrangement assigning
+  // wire w to port j.
+  std::vector<std::vector<std::vector<NetId>>> terms(
+      p, std::vector<std::vector<NetId>>(n));
+  const std::uint64_t arrangements = m - 2;
+  for (std::uint64_t t = 0; t < arrangements; ++t) {
+    const std::vector<unsigned> wires = arrangement_unrank(t, n, p);
+    for (unsigned j = 0; j < p; ++j)
+      terms[j][wires[j]].push_back(
+          dec[static_cast<std::size_t>(t + InstructionSet::kFirstTestCode)]);
+  }
+  std::vector<std::vector<NetId>> sel(p, std::vector<NetId>(n));
+  for (unsigned j = 0; j < p; ++j)
+    for (unsigned w = 0; w < n; ++w) sel[j][w] = b.or_n(terms[j][w]);
+
+  std::vector<NetId> test_lines(dec.begin() + 2, dec.end());
+  const NetId test_any = b.or_n(test_lines);
+  build_switch_outputs(b, isa, f, sel, test_any);
+}
+
+/// Optimized implementation: arithmetic mixed-radix decode of the dense
+/// code, plus a combinational relabeling network.
+void build_optimized_switch(NetlistBuilder& b, const InstructionSet& isa,
+                            const CasFrame& f) {
+  const unsigned n = isa.n();
+  const unsigned p = isa.p();
+  const std::uint64_t m = isa.m();
+
+  // TEST window: kFirstTestCode <= code < m.
+  const NetId ge2 = netlist::ge_const(b, f.ir_q,
+                                      InstructionSet::kFirstTestCode);
+  const NetId lt_m = b.not_(netlist::ge_const(b, f.ir_q, m));
+  const NetId is_test = b.and2(ge2, lt_m);
+
+  // r_0 = code - 2, truncated progressively as digits are peeled off.
+  std::vector<NetId> r =
+      netlist::sub_const(b, f.ir_q, InstructionSet::kFirstTestCode);
+
+  // used[w] tracks wires consumed by earlier digits (combinationally).
+  std::vector<NetId> used(n, b.const0());
+  std::vector<std::vector<NetId>> sel(p, std::vector<NetId>(n));
+
+  for (unsigned j = 0; j < p; ++j) {
+    const unsigned radix = n - j;  // digit d_j is in [0, radix)
+    const std::uint64_t stride = arrangement_count(n - j - 1, p - j - 1);
+
+    // One-hot digit decode via magnitude comparators on r.
+    std::vector<NetId> ge(radix + 1);
+    ge[0] = b.const1();
+    for (unsigned q = 1; q < radix; ++q)
+      ge[q] = netlist::ge_const(b, r, stride * q);
+    ge[radix] = b.const0();  // r < radix*stride for every valid code
+    std::vector<NetId> digit(radix);
+    for (unsigned q = 0; q < radix; ++q)
+      digit[q] = b.and2(ge[q], b.not_(ge[q + 1]));
+
+    // Relabel: digit q selects the q-th *unused* wire. rank_w = popcount of
+    // unused wires below w; sel[j][w] = !used[w] & (digit[rank_w]).
+    for (unsigned w = 0; w < n; ++w) {
+      std::vector<NetId> below;
+      below.reserve(w);
+      for (unsigned v = 0; v < w; ++v) below.push_back(b.not_(used[v]));
+      const std::vector<NetId> rank = netlist::popcount_bus(b, below);
+      std::vector<NetId> hits;
+      const unsigned q_max = std::min(w, radix - 1);
+      for (unsigned q = 0; q <= q_max; ++q)
+        hits.push_back(b.and2(digit[q], b.eq_const(rank, q)));
+      const NetId hit = b.or_n(hits);
+      sel[j][w] = b.and_n({b.not_(used[w]), hit, is_test});
+    }
+
+    // Fold this digit's claim into used[] for the next digit.
+    for (unsigned w = 0; w < n; ++w) used[w] = b.or2(used[w], sel[j][w]);
+
+    // Peel the digit: r <- r - digit*stride, truncated to the bits that can
+    // still be non-zero (r' < stride).
+    if (j + 1 < p) {
+      std::vector<std::vector<NetId>> reduced(radix);
+      for (unsigned q = 0; q < radix; ++q)
+        reduced[q] = netlist::sub_const(b, r, stride * q);
+      r = netlist::mux_onehot_bus(b, digit, reduced);
+      unsigned bits_needed = 1;
+      while ((1ULL << bits_needed) < stride) ++bits_needed;
+      if (bits_needed < r.size()) r.resize(bits_needed);
+    }
+  }
+
+  build_switch_outputs(b, isa, f, sel, is_test);
+}
+
+}  // namespace
+
+GeneratedCas generate_cas(unsigned n, unsigned p,
+                          const CasGenOptions& options) {
+  InstructionSet isa(n, p);
+
+  std::ostringstream name;
+  name << "cas_n" << n << "_p" << p
+       << (options.impl == CasImplementation::Generic ? "" : "_opt");
+  NetlistBuilder b(name.str());
+
+  const CasFrame frame = build_frame(b, isa);
+  if (options.impl == CasImplementation::Generic)
+    build_generic_switch(b, isa, frame);
+  else
+    build_optimized_switch(b, isa, frame);
+
+  netlist::Netlist nl = b.take();
+  if (options.run_optimizer) nl = netlist::optimize(nl);
+
+  return GeneratedCas{std::move(nl), isa, options.impl};
+}
+
+PassTransistorArea pass_transistor_area(unsigned n, unsigned p) {
+  InstructionSet isa(n, p);  // validates 1 <= p <= n
+  PassTransistorArea a;
+  // Full crosspoint matrix ("without restricting heuristics"): N x P
+  // transmission gates (2T each) per direction, with a control latch (6T)
+  // and local inverter (2T) per crosspoint pair.
+  const double crosspoints = static_cast<double>(n) * p;
+  const double matrix = crosspoints * (2.0 * 2.0 + 6.0 + 2.0);
+  // Per-wire bypass transmission gate + control.
+  const double bypass = n * (2.0 + 2.0);
+  // Instruction register (shift + update stages) stays unchanged: 2k DFFs
+  // at 22T plus the chain/update gating (~12T).
+  const double ir = 2.0 * isa.k() * 22.0 + 12.0;
+  a.transistors = matrix + bypass + ir;
+  a.gate_equivalents = a.transistors / 4.0;
+  return a;
+}
+
+}  // namespace casbus::tam

@@ -1,0 +1,83 @@
+/// \file cas_generator.hpp
+/// Gate-level CAS generation — the reproduction of the paper's CAS
+/// architecture generator (§3.2–3.3).
+///
+/// The paper's generator "takes as parameters the N and P values, and
+/// provides a VHDL description of the CAS". Ours produces a structural
+/// netlist (from which emit_vhdl / emit_verilog render HDL) in two
+/// implementation styles, mirroring §3.3:
+///
+///  - Generic: the straightforward architecture of Fig. 3 — k-bit shift +
+///    update instruction register, full one-hot decode of all m codes, and
+///    AND-OR switch routing. Cheap for small m, superlinear for large m
+///    (the paper: "when the width of the test bus becomes important, the
+///    induced CAS-BUS overhead can be significant").
+///
+///  - OptimizedGateLevel: the paper's "highly optimized gate level
+///    description" (under study in §3.3). Instead of enumerating codes, the
+///    dense code is decoded arithmetically: code-2 is split into mixed-radix
+///    digits by constant comparators/subtractors, and a combinational
+///    relabeling network (popcount ranks over unused wires) converts digits
+///    into per-port wire selects. Cost grows ~N^2·P·k instead of ~m·k.
+///
+/// A third §3.3 implementation, the pass-transistor switch matrix, cannot
+/// be expressed as a standard-cell netlist; pass_transistor_area() provides
+/// its area model instead.
+///
+/// Port naming contract (stable, used by GateSim-driven tests):
+/// inputs  "e0".."e{N-1}", "i0".."i{P-1}", "config", "update";
+/// outputs "s0".."s{N-1}", "o0".."o{P-1}".
+
+#pragma once
+
+#include <string>
+
+#include "core/instruction.hpp"
+#include "netlist/area.hpp"
+#include "netlist/netlist.hpp"
+
+namespace casbus::tam {
+
+/// Implementation style of a generated CAS (paper §3.3).
+enum class CasImplementation {
+  Generic,            ///< Fig. 3 architecture, full code decode
+  OptimizedGateLevel, ///< arithmetic mixed-radix decode
+};
+
+/// Knobs for generate_cas().
+struct CasGenOptions {
+  CasImplementation impl = CasImplementation::Generic;
+  bool run_optimizer = false;  ///< post-process with netlist::optimize()
+};
+
+/// A generated CAS and its bookkeeping.
+struct GeneratedCas {
+  netlist::Netlist netlist;
+  InstructionSet isa;
+  CasImplementation impl = CasImplementation::Generic;
+
+  /// Cell count (the closest analogue of the paper's "# of gates" column).
+  [[nodiscard]] std::size_t cell_count() const {
+    return netlist.cell_count();
+  }
+};
+
+/// Generates the gate-level CAS for a bus of width \p n and \p p switched
+/// wires. Behavior is bit-exact with CasBehavior (verified by the
+/// equivalence test-suite): same instruction encoding, same modes, same
+/// routing heuristic.
+GeneratedCas generate_cas(unsigned n, unsigned p,
+                          const CasGenOptions& options = {});
+
+/// Area of the pass-transistor CAS implementation (paper §3.3, second
+/// "under study" variant) in transistors: a full N x P crosspoint matrix of
+/// transmission gates in both directions, per-crosspoint control latches,
+/// bypass gates, and the same shift/update instruction register. "Without
+/// restricting heuristics" (full crossbar), exactly as the paper notes.
+struct PassTransistorArea {
+  double transistors = 0.0;
+  double gate_equivalents = 0.0;  ///< transistors / 4 (1 GE = 4T NAND2)
+};
+PassTransistorArea pass_transistor_area(unsigned n, unsigned p);
+
+}  // namespace casbus::tam

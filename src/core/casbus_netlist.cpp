@@ -1,0 +1,97 @@
+#include "core/casbus_netlist.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "netlist/builder.hpp"
+#include "netlist/compose.hpp"
+#include "netlist/opt.hpp"
+
+namespace casbus::tam {
+
+using netlist::NetId;
+using netlist::NetlistBuilder;
+
+GeneratedCasBus generate_casbus_netlist(const CasBusNetlistSpec& spec) {
+  CASBUS_REQUIRE(spec.width >= 1, "casbus netlist: width must be >= 1");
+  CASBUS_REQUIRE(!spec.ports_per_cas.empty(),
+                 "casbus netlist: need at least one CAS");
+
+  std::ostringstream name;
+  name << "casbus_n" << spec.width << "_c" << spec.ports_per_cas.size();
+  NetlistBuilder b(name.str());
+
+  GeneratedCasBus out;
+  out.width = spec.width;
+
+  // Shared child netlists per P.
+  std::map<unsigned, netlist::Netlist> children;
+  for (const unsigned p : spec.ports_per_cas) {
+    if (children.find(p) == children.end()) {
+      GeneratedCas cas =
+          generate_cas(spec.width, p, {spec.impl, spec.run_optimizer});
+      children.emplace(p, std::move(cas.netlist));
+    }
+    out.isas.emplace_back(spec.width, p);
+    out.total_ir_bits += out.isas.back().k();
+  }
+
+  // Top-level control and bus-entry ports.
+  const NetId config = b.input("config");
+  const NetId update = b.input("update");
+  std::vector<NetId> segment;
+  for (unsigned w = 0; w < spec.width; ++w) {
+    std::ostringstream os;
+    os << "bus_in" << w;
+    segment.push_back(b.input(os.str()));
+  }
+
+  // Instantiate each CAS, threading the bus segments through.
+  for (std::size_t c = 0; c < spec.ports_per_cas.size(); ++c) {
+    const unsigned p = spec.ports_per_cas[c];
+    std::ostringstream inst;
+    inst << "cas" << c;
+
+    netlist::PortMap pins;
+    pins.emplace("config", config);
+    pins.emplace("update", update);
+    for (unsigned w = 0; w < spec.width; ++w) {
+      std::ostringstream os;
+      os << 'e' << w;
+      pins.emplace(os.str(), segment[w]);
+    }
+    for (unsigned j = 0; j < p; ++j) {
+      std::ostringstream top, port;
+      top << "cas" << c << "_i" << j;
+      port << 'i' << j;
+      pins.emplace(port.str(), b.input(top.str()));
+    }
+
+    const auto outputs =
+        netlist::instantiate(b, children.at(p), inst.str(), pins);
+
+    // Next segment = this CAS's s outputs; o ports go to the top level.
+    for (unsigned w = 0; w < spec.width; ++w) {
+      std::ostringstream os;
+      os << 's' << w;
+      segment[w] = outputs.at(os.str());
+    }
+    for (unsigned j = 0; j < p; ++j) {
+      std::ostringstream top, port;
+      top << "cas" << c << "_o" << j;
+      port << 'o' << j;
+      b.output(top.str(), outputs.at(port.str()));
+    }
+  }
+
+  for (unsigned w = 0; w < spec.width; ++w) {
+    std::ostringstream os;
+    os << "bus_out" << w;
+    b.output(os.str(), segment[w]);
+  }
+
+  out.netlist = b.take();
+  return out;
+}
+
+}  // namespace casbus::tam

@@ -1,0 +1,45 @@
+/// \file casbus_netlist.hpp
+/// Whole-TAM hardware generation: every CAS of a bus plus the inter-CAS
+/// wire segments, flattened into one synthesizable netlist.
+///
+/// This is the hand-off artifact for a system integrator: the paper's
+/// generator emitted one CAS at a time; composing the full CAS-BUS (with
+/// the wire-0 instruction chain already stitched) gives the complete
+/// plug-and-play TAM macro ready for the SoC top level.
+
+#pragma once
+
+#include <vector>
+
+#include "core/cas_generator.hpp"
+#include "netlist/netlist.hpp"
+
+namespace casbus::tam {
+
+/// Geometry of one full bus.
+struct CasBusNetlistSpec {
+  unsigned width = 4;                    ///< N
+  std::vector<unsigned> ports_per_cas;   ///< P per CAS, in bus order
+  CasImplementation impl = CasImplementation::OptimizedGateLevel;
+  bool run_optimizer = false;            ///< optimize each CAS before composing
+};
+
+/// The composed TAM.
+///
+/// Top-level ports:
+///   inputs : bus_in0..bus_in{N-1}, config, update,
+///            cas<c>_i<j> (core-side returns, one per port of each CAS)
+///   outputs: bus_out0..bus_out{N-1},
+///            cas<c>_o<j> (core-side stimuli)
+struct GeneratedCasBus {
+  netlist::Netlist netlist;
+  unsigned width = 0;
+  std::vector<InstructionSet> isas;   ///< per CAS, bus order
+  std::size_t total_ir_bits = 0;      ///< configuration-stream length
+};
+
+/// Generates and flattens the full bus. CASes with equal P share one
+/// generated child netlist (instantiated repeatedly).
+GeneratedCasBus generate_casbus_netlist(const CasBusNetlistSpec& spec);
+
+}  // namespace casbus::tam

@@ -1,0 +1,148 @@
+#include "core/complete_tam.hpp"
+
+#include <map>
+#include <sstream>
+
+#include "netlist/builder.hpp"
+#include "p1500/wrapper.hpp"
+#include "netlist/compose.hpp"
+#include "netlist/opt.hpp"
+
+namespace casbus::tam {
+
+using netlist::NetId;
+using netlist::NetlistBuilder;
+using netlist::PortMap;
+
+unsigned ports_for_wrapper(const p1500::WrapperSpec& spec) {
+  const std::size_t p =
+      std::max<std::size_t>(spec.n_chains, spec.has_bist ? 1 : 0);
+  return static_cast<unsigned>(std::max<std::size_t>(p, 1));
+}
+
+GeneratedCompleteTam generate_complete_tam(const CompleteTamSpec& spec) {
+  CASBUS_REQUIRE(spec.width >= 1, "complete tam: width must be >= 1");
+  CASBUS_REQUIRE(!spec.wrappers.empty(),
+                 "complete tam: need at least one wrapped core");
+
+  std::ostringstream name;
+  name << "tam_n" << spec.width << "_c" << spec.wrappers.size();
+  NetlistBuilder b(name.str());
+
+  GeneratedCompleteTam out;
+  out.width = spec.width;
+
+  // Shared CAS child netlists per P, and wrapper netlists per geometry.
+  std::map<unsigned, netlist::Netlist> cas_children;
+  std::vector<netlist::Netlist> wrapper_children;
+  for (const p1500::WrapperSpec& w : spec.wrappers) {
+    const unsigned p = ports_for_wrapper(w);
+    CASBUS_REQUIRE(p <= spec.width,
+                   "complete tam: wrapper needs more ports than bus wires");
+    if (cas_children.find(p) == cas_children.end()) {
+      GeneratedCas cas =
+          generate_cas(spec.width, p, {spec.impl, spec.run_optimizer});
+      cas_children.emplace(p, std::move(cas.netlist));
+    }
+    out.isas.emplace_back(spec.width, p);
+    out.total_ir_bits += out.isas.back().k();
+    out.wrapper_ring_bits += p1500::kWirBits;
+
+    p1500::WrapperSpec named = w;
+    named.name = "w";  // instance prefix provides uniqueness
+    netlist::Netlist wn = p1500::generate_wrapper(named);
+    if (spec.run_optimizer) wn = netlist::optimize(wn);
+    wrapper_children.push_back(std::move(wn));
+  }
+
+  // Top-level control inputs.
+  const NetId config = b.input("config");
+  const NetId update = b.input("update");
+  const NetId sel = b.input("select_wir");
+  const NetId shift = b.input("shift_wr");
+  const NetId capture = b.input("capture_wr");
+  const NetId upd_wr = b.input("update_wr");
+  NetId ring = b.input("wsi_pin");
+
+  std::vector<NetId> segment;
+  for (unsigned w = 0; w < spec.width; ++w)
+    segment.push_back(b.input("bus_in" + std::to_string(w)));
+
+  for (std::size_t c = 0; c < spec.wrappers.size(); ++c) {
+    const p1500::WrapperSpec& wspec = spec.wrappers[c];
+    const unsigned p = ports_for_wrapper(wspec);
+    const std::string prefix = "c" + std::to_string(c) + "_";
+
+    // Pre-allocate the wrapper->CAS return nets (wpo drives CAS i pins).
+    std::vector<NetId> wpo_nets;
+    for (unsigned j = 0; j < p; ++j)
+      wpo_nets.push_back(b.net(prefix + "wpo" + std::to_string(j)));
+
+    // --- CAS ---------------------------------------------------------------
+    PortMap cas_pins;
+    cas_pins.emplace("config", config);
+    cas_pins.emplace("update", update);
+    for (unsigned w = 0; w < spec.width; ++w)
+      cas_pins.emplace("e" + std::to_string(w), segment[w]);
+    for (unsigned j = 0; j < p; ++j)
+      cas_pins.emplace("i" + std::to_string(j), wpo_nets[j]);
+    const auto cas_out = netlist::instantiate(
+        b, cas_children.at(p), "cas" + std::to_string(c), cas_pins);
+    for (unsigned w = 0; w < spec.width; ++w)
+      segment[w] = cas_out.at("s" + std::to_string(w));
+
+    // --- Wrapper -------------------------------------------------------------
+    PortMap wpins;
+    wpins.emplace("wsi", ring);
+    wpins.emplace("select_wir", sel);
+    wpins.emplace("shift_wr", shift);
+    wpins.emplace("capture_wr", capture);
+    wpins.emplace("update_wr", upd_wr);
+    for (unsigned j = 0; j < p; ++j) {
+      wpins.emplace("wpi" + std::to_string(j),
+                    cas_out.at("o" + std::to_string(j)));
+      wpins.emplace("wpo" + std::to_string(j), wpo_nets[j]);
+    }
+    for (std::size_t i = 0; i < wspec.n_func_in; ++i)
+      wpins.emplace("sys_in" + std::to_string(i),
+                    b.input(prefix + "sys_in" + std::to_string(i)));
+    for (std::size_t i = 0; i < wspec.n_func_out; ++i)
+      wpins.emplace("core_out" + std::to_string(i),
+                    b.input(prefix + "core_out" + std::to_string(i)));
+    for (std::size_t ch = 0; ch < wspec.n_chains; ++ch)
+      wpins.emplace("scan_so" + std::to_string(ch),
+                    b.input(prefix + "scan_so" + std::to_string(ch)));
+    if (wspec.has_bist) {
+      wpins.emplace("bist_done", b.input(prefix + "bist_done"));
+      wpins.emplace("bist_pass", b.input(prefix + "bist_pass"));
+    }
+
+    const auto wrap_out = netlist::instantiate(
+        b, wrapper_children[c], "wrap" + std::to_string(c), wpins);
+    ring = wrap_out.at("wso");
+
+    // Core-side and system-side outputs to the top level.
+    for (std::size_t i = 0; i < wspec.n_func_in; ++i)
+      b.output(prefix + "core_in" + std::to_string(i),
+               wrap_out.at("core_in" + std::to_string(i)));
+    for (std::size_t i = 0; i < wspec.n_func_out; ++i)
+      b.output(prefix + "sys_out" + std::to_string(i),
+               wrap_out.at("sys_out" + std::to_string(i)));
+    for (std::size_t ch = 0; ch < wspec.n_chains; ++ch)
+      b.output(prefix + "scan_si" + std::to_string(ch),
+               wrap_out.at("scan_si" + std::to_string(ch)));
+    b.output(prefix + "scan_en", wrap_out.at("scan_en"));
+    b.output(prefix + "core_clk_en", wrap_out.at("core_clk_en"));
+    if (wspec.has_bist)
+      b.output(prefix + "bist_start", wrap_out.at("bist_start"));
+  }
+
+  for (unsigned w = 0; w < spec.width; ++w)
+    b.output("bus_out" + std::to_string(w), segment[w]);
+  b.output("wso_pin", ring);
+
+  out.netlist = b.take();
+  return out;
+}
+
+}  // namespace casbus::tam

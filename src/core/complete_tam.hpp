@@ -1,0 +1,52 @@
+/// \file complete_tam.hpp
+/// The paper's §5 deliverable in hardware: "Associated with a SoC central
+/// test controller ... and with the P1500 wrappers, the proposed CAS-BUS
+/// can offer a complete test architecture for the SoC."
+///
+/// generate_complete_tam() composes, into one flat synthesizable netlist:
+///   - every CAS plus the stitched N-wire bus (generate_casbus_netlist),
+///   - one generated P1500 wrapper per CAS, its parallel ports wired to
+///     the CAS's o/i pins,
+///   - the wrapper serial ring (wsi_pin -> W0 -> ... -> wso_pin) and the
+///     shared WSC control inputs.
+///
+/// Top-level ports:
+///   bus_in<w>/bus_out<w>, config, update            (CAS plane)
+///   wsi_pin/wso_pin, select_wir, shift_wr,
+///   capture_wr, update_wr                           (wrapper plane)
+///   per core c (prefix c<c>_): sys_in*/sys_out*, core_in*/core_out*,
+///   scan_si*/scan_so*, scan_en, core_clk_en, bist_* (core hookup)
+
+#pragma once
+
+#include <vector>
+
+#include "core/casbus_netlist.hpp"
+#include "p1500/wrapper_generator.hpp"
+
+namespace casbus::tam {
+
+/// Geometry of the complete architecture: one wrapper per CAS; each CAS's
+/// P is derived from its wrapper (max(chains, bist ? 1 : 0), min 1).
+struct CompleteTamSpec {
+  unsigned width = 4;
+  std::vector<p1500::WrapperSpec> wrappers;
+  CasImplementation impl = CasImplementation::OptimizedGateLevel;
+  bool run_optimizer = true;
+};
+
+struct GeneratedCompleteTam {
+  netlist::Netlist netlist;
+  unsigned width = 0;
+  std::vector<InstructionSet> isas;  ///< per CAS
+  std::size_t total_ir_bits = 0;     ///< CAS configuration-stream length
+  std::size_t wrapper_ring_bits = 0; ///< WIR bits on the serial ring
+};
+
+/// Derived CAS port count for a wrapper geometry.
+unsigned ports_for_wrapper(const p1500::WrapperSpec& spec);
+
+/// Generates the composed architecture.
+GeneratedCompleteTam generate_complete_tam(const CompleteTamSpec& spec);
+
+}  // namespace casbus::tam

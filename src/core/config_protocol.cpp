@@ -1,0 +1,41 @@
+#include "core/config_protocol.hpp"
+
+#include "util/error.hpp"
+
+namespace casbus::tam {
+
+BitVector build_config_stream(const std::vector<ConfigEntry>& chain) {
+  BitVector stream;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    CASBUS_REQUIRE(it->reg_bits >= 1 && it->reg_bits <= 64,
+                   "config entry register width must be in [1, 64]");
+    CASBUS_REQUIRE(
+        it->reg_bits == 64 || it->code < (1ULL << it->reg_bits),
+        "config entry code does not fit its register");
+    for (std::size_t j = it->reg_bits; j-- > 0;)
+      stream.push_back(((it->code >> j) & 1ULL) != 0);
+  }
+  return stream;
+}
+
+BitVector build_cas_config_stream(const CasBusChain& chain,
+                                  const std::vector<std::uint64_t>& codes) {
+  CASBUS_REQUIRE(codes.size() == chain.size(),
+                 "build_cas_config_stream: one code per CAS required");
+  std::vector<ConfigEntry> entries;
+  entries.reserve(codes.size());
+  for (std::size_t c = 0; c < codes.size(); ++c) {
+    CASBUS_REQUIRE(chain.cas(c).isa().is_valid(codes[c]),
+                   "build_cas_config_stream: invalid instruction code");
+    entries.push_back(ConfigEntry{chain.cas(c).isa().k(), codes[c]});
+  }
+  return build_config_stream(entries);
+}
+
+std::size_t config_stream_length(const std::vector<ConfigEntry>& chain) {
+  std::size_t bits = 0;
+  for (const ConfigEntry& e : chain) bits += e.reg_bits;
+  return bits;
+}
+
+}  // namespace casbus::tam

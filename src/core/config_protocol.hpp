@@ -1,0 +1,46 @@
+/// \file config_protocol.hpp
+/// Serial configuration streams for daisy-chained instruction registers.
+///
+/// During CONFIGURATION every CAS inserts its k-bit instruction register
+/// into the wire-0 path, forming one long shift register across the chain
+/// (optionally interleaved with the P1500 WIRs — the paper's "tri-state
+/// mechanism, which allows to configure at the same time the CAS and the
+/// wrapper, by serially connecting the CAS and wrapper instruction
+/// registers"). This header computes the bit streams the SoC test
+/// controller must shift.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/test_bus.hpp"
+#include "util/bitvector.hpp"
+
+namespace casbus::tam {
+
+/// One register in the composite configuration chain, in physical chain
+/// order (index 0 = the register nearest the bus input pin).
+struct ConfigEntry {
+  std::size_t reg_bits = 0;   ///< register length (k for a CAS, 3 for a WIR)
+  std::uint64_t code = 0;     ///< value the register must hold after update
+};
+
+/// Builds the serial stream (bit 0 shifted first) that leaves each chained
+/// register holding its target code after exactly `stream.size()` shift
+/// cycles followed by one update pulse.
+///
+/// Bit order: the first bits shifted travel to the far end of the chain, so
+/// the stream is the concatenation, in *reverse* chain order, of each code's
+/// bits MSB-first.
+BitVector build_config_stream(const std::vector<ConfigEntry>& chain);
+
+/// Convenience: pure-CAS stream for a CasBusChain, `codes[i]` targeting
+/// CAS i in bus order. Codes must be valid for each CAS's instruction set.
+BitVector build_cas_config_stream(const CasBusChain& chain,
+                                  const std::vector<std::uint64_t>& codes);
+
+/// Number of shift cycles build_config_stream's result requires.
+std::size_t config_stream_length(const std::vector<ConfigEntry>& chain);
+
+}  // namespace casbus::tam

@@ -1,0 +1,40 @@
+#include "core/instruction.hpp"
+
+namespace casbus::tam {
+
+namespace {
+
+unsigned ceil_log2(std::uint64_t m) {
+  unsigned k = 0;
+  std::uint64_t capacity = 1;
+  while (capacity < m) {
+    capacity <<= 1;
+    ++k;
+  }
+  return k;
+}
+
+}  // namespace
+
+InstructionSet::InstructionSet(unsigned bus_width, unsigned ports)
+    : n_(bus_width), p_(ports) {
+  CASBUS_REQUIRE(n_ >= 1, "InstructionSet: bus width N must be >= 1");
+  CASBUS_REQUIRE(p_ >= 1 && p_ <= n_,
+                 "InstructionSet: ports P must satisfy 1 <= P <= N");
+  m_ = arrangement_count(n_, p_) + 2;
+  k_ = ceil_log2(m_);
+}
+
+std::uint64_t InstructionSet::encode(const SwitchScheme& scheme) const {
+  CASBUS_REQUIRE(scheme.bus_width() == n_ && scheme.port_count() == p_,
+                 "InstructionSet::encode: scheme geometry mismatch");
+  return kFirstTestCode + arrangement_rank(scheme.assignment(), n_);
+}
+
+SwitchScheme InstructionSet::decode(std::uint64_t code) const {
+  CASBUS_REQUIRE(is_test(code),
+                 "InstructionSet::decode: not a TEST instruction");
+  return SwitchScheme(arrangement_unrank(code - kFirstTestCode, n_, p_), n_);
+}
+
+}  // namespace casbus::tam

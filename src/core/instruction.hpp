@@ -1,0 +1,73 @@
+/// \file instruction.hpp
+/// The CAS instruction space for a given (N, P) configuration.
+///
+/// Encoding (paper §3.1–§3.2):
+///   code 0            BYPASS        "all instruction register bits are 0"
+///   code 1            CONFIGURATION the CAS keeps its instruction register
+///                                   inserted in the wire-0 chain, so it can
+///                                   be reprogrammed while others bypass
+///   codes 2 .. m-1    TEST          lexicographic arrangements of P wires
+///
+/// Totals: m = A(N,P) + 2 control words, instruction register width
+/// k = ceil(log2 m) — the paper's formula, matching Table 1 exactly.
+
+#pragma once
+
+#include <cstdint>
+
+#include "core/arrangement.hpp"
+#include "core/switch_scheme.hpp"
+
+namespace casbus::tam {
+
+/// Value-semantics descriptor of one (N, P) instruction space.
+class InstructionSet {
+ public:
+  /// \p bus_width = N >= 1, \p ports = P with 1 <= P <= N (paper §2).
+  InstructionSet(unsigned bus_width, unsigned ports);
+
+  static constexpr std::uint64_t kBypassCode = 0;
+  static constexpr std::uint64_t kConfigCode = 1;
+  static constexpr std::uint64_t kFirstTestCode = 2;
+
+  [[nodiscard]] unsigned n() const noexcept { return n_; }
+  [[nodiscard]] unsigned p() const noexcept { return p_; }
+
+  /// Total number of control instructions m = A(N,P) + 2 (Table 1, col m).
+  [[nodiscard]] std::uint64_t m() const noexcept { return m_; }
+
+  /// Instruction register width k = ceil(log2 m) (Table 1, col k).
+  [[nodiscard]] unsigned k() const noexcept { return k_; }
+
+  /// True when \p code is one of the m defined instructions.
+  [[nodiscard]] bool is_valid(std::uint64_t code) const noexcept {
+    return code < m_;
+  }
+  [[nodiscard]] static bool is_bypass(std::uint64_t code) noexcept {
+    return code == kBypassCode;
+  }
+  [[nodiscard]] static bool is_config(std::uint64_t code) noexcept {
+    return code == kConfigCode;
+  }
+  [[nodiscard]] bool is_test(std::uint64_t code) const noexcept {
+    return code >= kFirstTestCode && code < m_;
+  }
+
+  /// TEST code for a switch scheme (scheme geometry must match N and P).
+  [[nodiscard]] std::uint64_t encode(const SwitchScheme& scheme) const;
+
+  /// Switch scheme of a TEST \p code; throws unless is_test(code).
+  [[nodiscard]] SwitchScheme decode(std::uint64_t code) const;
+
+  friend bool operator==(const InstructionSet& a, const InstructionSet& b) {
+    return a.n_ == b.n_ && a.p_ == b.p_;
+  }
+
+ private:
+  unsigned n_;
+  unsigned p_;
+  std::uint64_t m_;
+  unsigned k_;
+};
+
+}  // namespace casbus::tam

@@ -1,0 +1,32 @@
+#include "core/switch_scheme.hpp"
+
+namespace casbus::tam {
+
+SwitchScheme::SwitchScheme(std::vector<unsigned> wire_of_port,
+                           unsigned bus_width)
+    : wire_of_port_(std::move(wire_of_port)), n_(bus_width) {
+  CASBUS_REQUIRE(!wire_of_port_.empty(),
+                 "SwitchScheme requires at least one port");
+  CASBUS_REQUIRE(wire_of_port_.size() <= n_,
+                 "SwitchScheme: more ports than bus wires");
+  std::vector<bool> used(n_, false);
+  for (const unsigned w : wire_of_port_) {
+    CASBUS_REQUIRE(w < n_, "SwitchScheme: wire index out of range");
+    CASBUS_REQUIRE(!used[w], "SwitchScheme: wire assigned to two ports");
+    used[w] = true;
+  }
+}
+
+SwitchScheme SwitchScheme::identity(unsigned ports, unsigned bus_width) {
+  std::vector<unsigned> v(ports);
+  for (unsigned j = 0; j < ports; ++j) v[j] = j;
+  return SwitchScheme(std::move(v), bus_width);
+}
+
+std::optional<unsigned> SwitchScheme::port_of_wire(unsigned w) const {
+  for (unsigned j = 0; j < wire_of_port_.size(); ++j)
+    if (wire_of_port_[j] == w) return j;
+  return std::nullopt;
+}
+
+}  // namespace casbus::tam

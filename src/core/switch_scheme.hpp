@@ -1,0 +1,63 @@
+/// \file switch_scheme.hpp
+/// The switch scheme of a CAS in TEST mode.
+
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace casbus::tam {
+
+/// An injective assignment of P core ports to P distinct bus wires.
+///
+/// `wire_of_port(j)` is the bus wire feeding core port j (e_w -> o_j). The
+/// paper's routing heuristic — "when an input e_i is switched to an output
+/// o_j, the corresponding i_j CAS input is switched to the s_i output" —
+/// means the return path (i_j -> s_w) is *derived*, never stored, so a
+/// scheme cannot express an illegal asymmetric route by construction.
+class SwitchScheme {
+ public:
+  /// Builds a scheme on a bus of width \p bus_width from \p wire_of_port
+  /// (index = port, value = wire). Values must be distinct and < bus_width.
+  SwitchScheme(std::vector<unsigned> wire_of_port, unsigned bus_width);
+
+  /// The identity scheme: port j <- wire j.
+  static SwitchScheme identity(unsigned ports, unsigned bus_width);
+
+  [[nodiscard]] unsigned bus_width() const noexcept { return n_; }
+  [[nodiscard]] unsigned port_count() const noexcept {
+    return static_cast<unsigned>(wire_of_port_.size());
+  }
+
+  /// Bus wire connected to core port \p j.
+  [[nodiscard]] unsigned wire_of_port(unsigned j) const {
+    CASBUS_REQUIRE(j < wire_of_port_.size(),
+                   "SwitchScheme: port index out of range");
+    return wire_of_port_[j];
+  }
+
+  /// Core port fed by bus wire \p w, if any (the derived return route).
+  [[nodiscard]] std::optional<unsigned> port_of_wire(unsigned w) const;
+
+  /// True when wire \p w passes through untouched (bypass inside TEST mode:
+  /// "the N-P remaining wires bypass the CAS").
+  [[nodiscard]] bool wire_bypasses(unsigned w) const {
+    return !port_of_wire(w).has_value();
+  }
+
+  [[nodiscard]] const std::vector<unsigned>& assignment() const noexcept {
+    return wire_of_port_;
+  }
+
+  friend bool operator==(const SwitchScheme& a, const SwitchScheme& b) {
+    return a.n_ == b.n_ && a.wire_of_port_ == b.wire_of_port_;
+  }
+
+ private:
+  std::vector<unsigned> wire_of_port_;
+  unsigned n_;
+};
+
+}  // namespace casbus::tam

@@ -1,0 +1,67 @@
+#include "core/test_bus.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace casbus::tam {
+
+CasBusChain::CasBusChain(sim::Simulation& sim_ctx, unsigned width,
+                         std::string name)
+    : sim_(sim_ctx), name_(std::move(name)), width_(width) {
+  CASBUS_REQUIRE(width_ >= 1, "CasBusChain: bus width must be >= 1");
+  head_ = sim_.bundle(name_ + ".in", width_, Logic4::Zero);
+  config_ = &sim_.wire(name_ + ".config", Logic4::Zero);
+  update_ = &sim_.wire(name_ + ".update", Logic4::Zero);
+}
+
+CasBusChain::CasBusChain(sim::Simulation& sim_ctx, sim::WireBundle head,
+                         std::string name)
+    : sim_(sim_ctx),
+      name_(std::move(name)),
+      width_(static_cast<unsigned>(head.size())),
+      head_(std::move(head)) {
+  CASBUS_REQUIRE(width_ >= 1, "CasBusChain: bus width must be >= 1");
+  config_ = &sim_.wire(name_ + ".config", Logic4::Zero);
+  update_ = &sim_.wire(name_ + ".update", Logic4::Zero);
+}
+
+CasBehavior& CasBusChain::add_cas(const std::string& cas_name,
+                                  unsigned ports) {
+  CASBUS_REQUIRE(ports >= 1 && ports <= width_,
+                 "CasBusChain::add_cas: ports must satisfy 1 <= P <= N");
+
+  sim::WireBundle& e = segments_.empty() ? head_ : segments_.back();
+  sim::WireBundle s =
+      sim_.bundle(name_ + "." + cas_name + ".s", width_, Logic4::Zero);
+  sim::WireBundle o =
+      sim_.bundle(name_ + "." + cas_name + ".o", ports, Logic4::Z);
+  sim::WireBundle i =
+      sim_.bundle(name_ + "." + cas_name + ".i", ports, Logic4::Zero);
+
+  CasPorts ports_struct;
+  ports_struct.e = e;  // bundles hold non-owning wire pointers; copy is fine
+  ports_struct.s = s;
+  ports_struct.o = o;
+  ports_struct.i = i;
+  ports_struct.config = config_;
+  ports_struct.update = update_;
+
+  auto cas = std::make_unique<CasBehavior>(name_ + "." + cas_name,
+                                           std::move(ports_struct));
+  CasBehavior& ref = *cas;
+  sim_.add(&ref);
+  cases_.push_back(std::move(cas));
+  segments_.push_back(std::move(s));
+  o_bundles_.push_back(std::move(o));
+  i_bundles_.push_back(std::move(i));
+  return ref;
+}
+
+std::size_t CasBusChain::total_ir_bits() const {
+  std::size_t bits = 0;
+  for (const auto& cas : cases_) bits += cas->isa().k();
+  return bits;
+}
+
+}  // namespace casbus::tam

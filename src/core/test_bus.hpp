@@ -1,0 +1,100 @@
+/// \file test_bus.hpp
+/// Physical assembly of the CAS-BUS: an N-wire serial test bus threading
+/// through a chain of CASes (paper Fig. 1).
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/cas_behavior.hpp"
+#include "sim/simulation.hpp"
+
+namespace casbus::tam {
+
+/// Builds and owns a chain of behavioral CASes on one test bus.
+///
+/// Topology: `head()` wires enter the first CAS; each CAS's s-side feeds the
+/// next CAS's e-side through a dedicated wire segment; `tail()` exposes the
+/// last segment (the SoC's test output pins). The shared `config` wire puts
+/// every CAS of this chain into CONFIGURATION mode; `update` loads the
+/// shifted instructions (paper §3: "the instruction registers of all the
+/// CASes are connected to each other through the first serial test bus
+/// wire during the initialization phase").
+class CasBusChain {
+ public:
+  /// Creates the bus of \p width wires inside \p sim_ctx. The simulation
+  /// must outlive the chain. \p name prefixes every wire name.
+  CasBusChain(sim::Simulation& sim_ctx, unsigned width,
+              std::string name = "bus");
+
+  /// Creates a bus whose head wires already exist — used for the internal
+  /// bus of a hierarchical core (paper Fig. 2d), where the parent CAS's
+  /// o-ports drive the child bus head. The child chain gets its own
+  /// config/update wires (its hierarchy domain's control signals).
+  CasBusChain(sim::Simulation& sim_ctx, sim::WireBundle head,
+              std::string name);
+
+  CasBusChain(const CasBusChain&) = delete;
+  CasBusChain& operator=(const CasBusChain&) = delete;
+
+  /// Appends a CAS with \p ports switched wires; registers it with the
+  /// simulation. Returns the CAS (owned by the chain).
+  CasBehavior& add_cas(const std::string& cas_name, unsigned ports);
+
+  /// Bus width N.
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
+
+  /// Number of CASes in the chain.
+  [[nodiscard]] std::size_t size() const noexcept { return cases_.size(); }
+
+  /// Bus input wires (SoC test-in pins; drive these).
+  [[nodiscard]] sim::WireBundle& head() noexcept { return head_; }
+
+  /// Bus output wires after the last CAS (SoC test-out pins; observe these).
+  [[nodiscard]] sim::WireBundle& tail() noexcept {
+    return segments_.empty() ? head_ : segments_.back();
+  }
+
+  /// Shared CONFIGURATION wire of this chain (one hierarchy domain).
+  [[nodiscard]] sim::Wire& config_wire() noexcept { return *config_; }
+
+  /// Shared instruction-update wire.
+  [[nodiscard]] sim::Wire& update_wire() noexcept { return *update_; }
+
+  /// CAS number \p idx in bus order.
+  [[nodiscard]] CasBehavior& cas(std::size_t idx) {
+    return *cases_.at(idx);
+  }
+  [[nodiscard]] const CasBehavior& cas(std::size_t idx) const {
+    return *cases_.at(idx);
+  }
+
+  /// Core-side bundles of CAS \p idx, for wrapper hookup: `o` wires are
+  /// CAS->wrapper (connect to WPI), `i` wires are wrapper->CAS (WPO).
+  [[nodiscard]] sim::WireBundle& cas_o(std::size_t idx) {
+    return o_bundles_.at(idx);
+  }
+  [[nodiscard]] sim::WireBundle& cas_i(std::size_t idx) {
+    return i_bundles_.at(idx);
+  }
+
+  /// Total instruction bits in the chain: sum of k over all CASes — the
+  /// length of a pure-CAS configuration stream.
+  [[nodiscard]] std::size_t total_ir_bits() const;
+
+ private:
+  sim::Simulation& sim_;
+  std::string name_;
+  unsigned width_;
+  sim::WireBundle head_;
+  std::vector<sim::WireBundle> segments_;  // after each CAS
+  std::vector<sim::WireBundle> o_bundles_;
+  std::vector<sim::WireBundle> i_bundles_;
+  std::vector<std::unique_ptr<CasBehavior>> cases_;
+  sim::Wire* config_;
+  sim::Wire* update_;
+};
+
+}  // namespace casbus::tam

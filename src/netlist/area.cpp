@@ -1,0 +1,61 @@
+#include "netlist/area.hpp"
+
+namespace casbus::netlist {
+
+AreaModel AreaModel::typical() {
+  AreaModel m;
+  m.set_cost(CellKind::Const0, 0.0);
+  m.set_cost(CellKind::Const1, 0.0);
+  m.set_cost(CellKind::Buf, 0.75);
+  m.set_cost(CellKind::Not, 0.5);
+  m.set_cost(CellKind::And2, 1.5);
+  m.set_cost(CellKind::Or2, 1.5);
+  m.set_cost(CellKind::Nand2, 1.0);
+  m.set_cost(CellKind::Nor2, 1.0);
+  m.set_cost(CellKind::Xor2, 2.5);
+  m.set_cost(CellKind::Xnor2, 2.5);
+  m.set_cost(CellKind::Mux2, 2.25);
+  m.set_cost(CellKind::Tribuf, 1.5);
+  m.set_cost(CellKind::Dff, 5.5);
+  m.set_cost(CellKind::Dffe, 7.0);
+  return m;
+}
+
+AreaModel AreaModel::transistors() {
+  AreaModel m;
+  m.set_cost(CellKind::Const0, 0.0);
+  m.set_cost(CellKind::Const1, 0.0);
+  m.set_cost(CellKind::Buf, 4.0);
+  m.set_cost(CellKind::Not, 2.0);
+  m.set_cost(CellKind::And2, 6.0);
+  m.set_cost(CellKind::Or2, 6.0);
+  m.set_cost(CellKind::Nand2, 4.0);
+  m.set_cost(CellKind::Nor2, 4.0);
+  m.set_cost(CellKind::Xor2, 10.0);
+  m.set_cost(CellKind::Xnor2, 10.0);
+  m.set_cost(CellKind::Mux2, 10.0);
+  m.set_cost(CellKind::Tribuf, 6.0);
+  m.set_cost(CellKind::Dff, 22.0);
+  m.set_cost(CellKind::Dffe, 28.0);
+  return m;
+}
+
+double AreaModel::total(const Netlist& nl) const {
+  double sum = 0.0;
+  for (const Cell& c : nl.cells()) sum += cost(c.kind);
+  return sum;
+}
+
+NetlistStats stats_of(const Netlist& nl) {
+  NetlistStats s;
+  s.cells = nl.cell_count();
+  s.nets = nl.net_count();
+  s.dffs = nl.dff_count();
+  for (const Cell& c : nl.cells())
+    if (c.kind == CellKind::Tribuf) ++s.tristate;
+  s.gate_equivalents = AreaModel::typical().total(nl);
+  s.transistor_estimate = AreaModel::transistors().total(nl);
+  return s;
+}
+
+}  // namespace casbus::netlist

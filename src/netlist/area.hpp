@@ -1,0 +1,56 @@
+/// \file area.hpp
+/// Technology-independent area estimation in gate equivalents.
+///
+/// The paper reports CAS sizes as "# of gates" from Synopsys synthesis onto
+/// an unnamed library (Table 1). We substitute a classical gate-equivalent
+/// (GE) model: 1 GE = one NAND2. The bench reports GE next to the paper's
+/// numbers; absolute values differ by a library-dependent constant but the
+/// growth across (N, P) — which drives the paper's trade-off argument — is
+/// preserved.
+
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace casbus::netlist {
+
+/// Per-kind cost table.
+class AreaModel {
+ public:
+  /// Classical standard-cell GE figures (NAND2 = 1.0).
+  static AreaModel typical();
+
+  /// CMOS transistor-count figures (NAND2 = 4T, DFF = 22T ...), used by the
+  /// pass-transistor comparison in §3.3.
+  static AreaModel transistors();
+
+  /// Cost of one cell kind.
+  [[nodiscard]] double cost(CellKind kind) const {
+    return table_.at(static_cast<std::size_t>(kind));
+  }
+  void set_cost(CellKind kind, double v) {
+    table_.at(static_cast<std::size_t>(kind)) = v;
+  }
+
+  /// Total cost of a netlist.
+  [[nodiscard]] double total(const Netlist& nl) const;
+
+ private:
+  std::vector<double> table_ =
+      std::vector<double>(static_cast<std::size_t>(CellKind::Dffe) + 1, 0.0);
+};
+
+/// Combinational depth and composition summary used in reports.
+struct NetlistStats {
+  std::size_t cells = 0;
+  std::size_t nets = 0;
+  std::size_t dffs = 0;
+  std::size_t tristate = 0;
+  double gate_equivalents = 0.0;
+  double transistor_estimate = 0.0;
+};
+
+/// Collects summary statistics with the typical area model.
+NetlistStats stats_of(const Netlist& nl);
+
+}  // namespace casbus::netlist

@@ -1,0 +1,125 @@
+#include "netlist/arith.hpp"
+
+namespace casbus::netlist {
+
+SumCarry add_const_with_carry(NetlistBuilder& b, const std::vector<NetId>& a,
+                              std::uint64_t k, bool carry_in) {
+  CASBUS_REQUIRE(!a.empty() && a.size() <= 64,
+                 "add_const_with_carry: bus width must be in [1, 64]");
+  SumCarry out;
+  out.sum.reserve(a.size());
+  // carry as a net; seeded from the constant carry_in.
+  NetId carry = carry_in ? b.const1() : b.const0();
+  bool carry_known = true;       // carry is still a compile-time constant
+  bool carry_const = carry_in;   // its value while known
+
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const bool kb = ((k >> i) & 1ULL) != 0;
+    if (carry_known) {
+      // Specialize while the carry is a known constant.
+      if (!kb && !carry_const) {
+        out.sum.push_back(a[i]);  // s = a, c' = 0
+      } else if (kb != carry_const) {
+        out.sum.push_back(b.not_(a[i]));  // s = !a, c' = a
+        carry = a[i];
+        carry_known = false;
+      } else {  // kb && carry_const
+        out.sum.push_back(a[i]);  // s = a, c' = 1
+        carry = b.const1();
+        // carry stays known at 1
+        carry_const = true;
+      }
+      continue;
+    }
+    if (kb) {
+      // s = !(a ^ c), c' = a | c
+      out.sum.push_back(b.xnor2(a[i], carry));
+      carry = b.or2(a[i], carry);
+    } else {
+      // s = a ^ c, c' = a & c
+      out.sum.push_back(b.xor2(a[i], carry));
+      carry = b.and2(a[i], carry);
+    }
+  }
+  if (carry_known) carry = carry_const ? b.const1() : b.const0();
+  out.carry_out = carry;
+  return out;
+}
+
+std::vector<NetId> sub_const(NetlistBuilder& b, const std::vector<NetId>& a,
+                             std::uint64_t c) {
+  // a - c = a + ~c + 1 over the bus width.
+  const std::uint64_t mask =
+      a.size() >= 64 ? ~0ULL : ((1ULL << a.size()) - 1);
+  return add_const_with_carry(b, a, ~c & mask, true).sum;
+}
+
+NetId ge_const(NetlistBuilder& b, const std::vector<NetId>& a,
+               std::uint64_t c) {
+  const std::uint64_t mask =
+      a.size() >= 64 ? ~0ULL : ((1ULL << a.size()) - 1);
+  if ((c & ~mask) != 0) return b.const0();  // constant exceeds bus range
+  if (c == 0) return b.const1();
+  // Carry-out of a + ~c + 1 is 1 exactly when a >= c (no borrow).
+  return add_const_with_carry(b, a, ~c & mask, true).carry_out;
+}
+
+std::vector<NetId> popcount_bus(NetlistBuilder& b,
+                                const std::vector<NetId>& xs) {
+  if (xs.empty()) return {b.const0()};
+  // Column compression: columns[i] holds nets of weight 2^i.
+  std::vector<std::vector<NetId>> columns;
+  columns.push_back(xs);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    while (columns[i].size() > 1) {
+      if (i + 1 >= columns.size()) columns.emplace_back();
+      if (columns[i].size() >= 3) {
+        // Full adder on three nets of this weight.
+        const NetId x = columns[i][columns[i].size() - 1];
+        const NetId y = columns[i][columns[i].size() - 2];
+        const NetId z = columns[i][columns[i].size() - 3];
+        columns[i].resize(columns[i].size() - 3);
+        const NetId xy = b.xor2(x, y);
+        columns[i].push_back(b.xor2(xy, z));               // sum
+        columns[i + 1].push_back(
+            b.or2(b.and2(x, y), b.and2(xy, z)));           // carry
+      } else {
+        // Half adder on two nets.
+        const NetId x = columns[i][1];
+        const NetId y = columns[i][0];
+        columns[i].clear();
+        columns[i].push_back(b.xor2(x, y));
+        columns[i + 1].push_back(b.and2(x, y));
+      }
+    }
+  }
+  std::vector<NetId> out;
+  out.reserve(columns.size());
+  for (auto& col : columns)
+    out.push_back(col.empty() ? b.const0() : col[0]);
+  return out;
+}
+
+std::vector<NetId> mux_onehot_bus(
+    NetlistBuilder& b, const std::vector<NetId>& sel,
+    const std::vector<std::vector<NetId>>& data) {
+  CASBUS_REQUIRE(sel.size() == data.size(),
+                 "mux_onehot_bus: select/data count mismatch");
+  CASBUS_REQUIRE(!data.empty(), "mux_onehot_bus: no data inputs");
+  const std::size_t width = data[0].size();
+  std::vector<NetId> out;
+  out.reserve(width);
+  for (std::size_t bit = 0; bit < width; ++bit) {
+    std::vector<NetId> terms;
+    terms.reserve(data.size());
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      CASBUS_REQUIRE(data[i].size() == width,
+                     "mux_onehot_bus: ragged data widths");
+      terms.push_back(b.and2(sel[i], data[i][bit]));
+    }
+    out.push_back(b.or_n(terms));
+  }
+  return out;
+}
+
+}  // namespace casbus::netlist

@@ -1,0 +1,54 @@
+/// \file arith.hpp
+/// Multi-bit arithmetic macro-cells built on NetlistBuilder.
+///
+/// Used by the optimized CAS generator (mixed-radix arrangement decoding
+/// needs constant subtraction, magnitude comparison and population counts).
+/// All buses are LSB-first vectors of nets.
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/builder.hpp"
+
+namespace casbus::netlist {
+
+/// Result of add_const_with_carry.
+struct SumCarry {
+  std::vector<NetId> sum;  ///< same width as the input bus
+  NetId carry_out;         ///< final carry
+};
+
+/// Computes a + k + carry_in over w = a.size() bits, where \p k is a
+/// compile-time constant. Gates are specialized per constant bit, so a
+/// constant adder costs ~2 cells per bit.
+SumCarry add_const_with_carry(NetlistBuilder& b, const std::vector<NetId>& a,
+                              std::uint64_t k, bool carry_in);
+
+/// (a - c) mod 2^w — two's complement subtraction of a constant.
+std::vector<NetId> sub_const(NetlistBuilder& b, const std::vector<NetId>& a,
+                             std::uint64_t c);
+
+/// 1 when the unsigned value of \p a is >= \p c.
+NetId ge_const(NetlistBuilder& b, const std::vector<NetId>& a,
+               std::uint64_t c);
+
+/// Population count of \p xs as a ceil(log2(n+1))-bit bus (Wallace-style
+/// column compression with full/half adders).
+std::vector<NetId> popcount_bus(NetlistBuilder& b,
+                                const std::vector<NetId>& xs);
+
+/// Equality of bus \p a with constant \p c (alias of builder eq_const).
+inline NetId eq_const_bus(NetlistBuilder& b, const std::vector<NetId>& a,
+                          std::uint64_t c) {
+  return b.eq_const(a, c);
+}
+
+/// One-hot bus multiplexer: out = data[i] where sel[i] = 1 (buses must all
+/// share one width; sel must be one-hot or all-zero, giving zero output).
+std::vector<NetId> mux_onehot_bus(NetlistBuilder& b,
+                                  const std::vector<NetId>& sel,
+                                  const std::vector<std::vector<NetId>>& data);
+
+}  // namespace casbus::netlist

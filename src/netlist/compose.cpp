@@ -1,0 +1,62 @@
+#include "netlist/compose.hpp"
+
+#include <vector>
+
+namespace casbus::netlist {
+
+std::map<std::string, NetId> instantiate(NetlistBuilder& parent,
+                                         const Netlist& child,
+                                         const std::string& instance,
+                                         const PortMap& connections) {
+  // Child net -> parent net translation table, seeded with the port map.
+  std::vector<NetId> xlat(child.net_count(), kNoNet);
+
+  for (const Port& p : child.inputs()) {
+    const auto it = connections.find(p.name);
+    CASBUS_REQUIRE(it != connections.end(),
+                   "instantiate: unconnected input port '" + p.name +
+                       "' of " + child.name());
+    xlat[p.net] = it->second;
+  }
+  // Output ports mapped to parent nets. When the child's output net is
+  // already translated — it aliases an input port (feed-through, common
+  // after optimization) or another mapped output — the parent net must
+  // still be driven, so a buffer bridges the two.
+  std::map<std::string, NetId> outputs;
+  std::vector<std::pair<NetId, NetId>> bridges;  // src -> dst (parent nets)
+  for (const Port& p : child.outputs()) {
+    const auto it = connections.find(p.name);
+    if (it == connections.end()) continue;
+    if (xlat[p.net] == kNoNet) {
+      xlat[p.net] = it->second;
+      outputs.emplace(p.name, it->second);
+    } else if (xlat[p.net] == it->second) {
+      outputs.emplace(p.name, it->second);
+    } else {
+      bridges.emplace_back(xlat[p.net], it->second);
+      outputs.emplace(p.name, it->second);
+    }
+  }
+  for (const auto& [src, dst] : bridges)
+    parent.copy_cell(CellKind::Buf, src, kNoNet, kNoNet, dst);
+
+  // Remaining child nets become fresh, namespaced parent nets.
+  for (NetId n = 0; n < child.net_count(); ++n) {
+    if (xlat[n] != kNoNet) continue;
+    xlat[n] = parent.net(instance + "." + child.net_name(n));
+  }
+  for (const Port& p : child.outputs())
+    if (outputs.find(p.name) == outputs.end())
+      outputs.emplace(p.name, xlat[p.net]);
+
+  // Copy cells pin-for-pin through the translation table.
+  for (const Cell& c : child.cells()) {
+    const NetId in0 = c.in[0] == kNoNet ? kNoNet : xlat[c.in[0]];
+    const NetId in1 = c.in[1] == kNoNet ? kNoNet : xlat[c.in[1]];
+    const NetId in2 = c.in[2] == kNoNet ? kNoNet : xlat[c.in[2]];
+    parent.copy_cell(c.kind, in0, in1, in2, xlat[c.out]);
+  }
+  return outputs;
+}
+
+}  // namespace casbus::netlist

@@ -1,0 +1,37 @@
+/// \file compose.hpp
+/// Hierarchical netlist composition: instantiate one netlist inside a
+/// builder, connecting its ports to existing nets.
+///
+/// This is what lets the library emit the *entire* CAS-BUS — every CAS
+/// plus the inter-CAS bus segments — as a single flat synthesizable
+/// netlist (see tam::generate_casbus_netlist), the deliverable a system
+/// integrator would drop into their SoC top level.
+
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "netlist/builder.hpp"
+#include "netlist/netlist.hpp"
+
+namespace casbus::netlist {
+
+/// Net connections for one instantiation: port name -> net in the parent.
+/// Every input port of the child must be mapped; output ports may be
+/// omitted (left dangling) or mapped to fresh parent nets.
+using PortMap = std::map<std::string, NetId>;
+
+/// Copies all cells of \p child into \p parent, stitching child port nets
+/// to the mapped parent nets. Internal child nets become fresh parent
+/// nets named `<instance>.<childnet>`. Returns the map from child output
+/// port names to the parent nets now carrying them (mapped or fresh).
+///
+/// Multi-driver (tri-state) structures survive: a child output driven by
+/// tribufs keeps its drivers, so instances may share a parent bus net.
+std::map<std::string, NetId> instantiate(NetlistBuilder& parent,
+                                         const Netlist& child,
+                                         const std::string& instance,
+                                         const PortMap& connections);
+
+}  // namespace casbus::netlist

@@ -1,0 +1,31 @@
+/// \file emit.hpp
+/// Structural HDL emission.
+///
+/// The paper's CAS generator "provides a VHDL description of the CAS, which
+/// can be synthesized with a commercial synthesis tool" (§3.3). These
+/// emitters render any Netlist — in particular generated CASes — as
+/// synthesizable structural VHDL-93 or Verilog-2001.
+
+#pragma once
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace casbus::netlist {
+
+/// Renders \p nl as a self-contained VHDL-93 entity/architecture pair.
+/// Sequential cells produce one clocked process; a `clk` input port is
+/// added automatically when the design contains flip-flops. Tri-state
+/// drivers map to conditional 'Z' assignments (std_logic resolution).
+std::string emit_vhdl(const Netlist& nl);
+
+/// Renders \p nl as a Verilog-2001 module (continuous assigns + one
+/// always @(posedge clk) block).
+std::string emit_verilog(const Netlist& nl);
+
+/// Makes an arbitrary net/port name a legal HDL identifier
+/// (brackets to underscores, leading digit prefixed).
+std::string sanitize_identifier(const std::string& name);
+
+}  // namespace casbus::netlist

@@ -1,0 +1,106 @@
+/// \file gatesim.hpp
+/// Event-free levelized gate-level simulator with 4-state values.
+///
+/// The simulator is cycle-accurate: `eval()` settles all combinational
+/// logic (cells are processed in levelized topological order, so one pass
+/// suffices), `tick()` is the rising clock edge updating every flip-flop.
+/// Tri-state nets (multiple Tribuf drivers) are resolved with the IEEE-1164
+/// rules from util/logic.hpp.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+#include "util/logic.hpp"
+
+namespace casbus::netlist {
+
+/// Simulates one Netlist instance.
+///
+/// The simulator owns a copy of the design (move it in to avoid the copy),
+/// so there is no lifetime coupling with the caller. Construction
+/// levelizes the design and throws SimulationError on combinational
+/// cycles.
+class GateSim {
+ public:
+  explicit GateSim(Netlist nl);
+
+  /// Returns the simulated design.
+  [[nodiscard]] const Netlist& design() const noexcept { return nl_; }
+
+  /// Sets every flip-flop to \p state and every primary input to X.
+  void reset(Logic4 state = Logic4::Zero);
+
+  /// Drives primary input \p name. Throws if the name is unknown.
+  void set_input(const std::string& name, Logic4 v);
+  void set_input(const std::string& name, bool v) {
+    set_input(name, to_logic(v));
+  }
+
+  /// Drives primary input by position (order of declaration).
+  void set_input_index(std::size_t index, Logic4 v);
+
+  /// Propagates combinational logic; one levelized pass.
+  void eval();
+
+  /// Rising clock edge: every DFF captures, then combinational re-eval.
+  void tick();
+
+  /// Convenience: eval() has already been called when reading outputs.
+  [[nodiscard]] Logic4 output(const std::string& name) const;
+  [[nodiscard]] Logic4 output_index(std::size_t index) const;
+
+  /// Raw net inspection (post-eval).
+  [[nodiscard]] Logic4 net_value(NetId net) const {
+    return net_val_.at(net);
+  }
+
+  /// Number of flip-flops, in cell order.
+  [[nodiscard]] std::size_t dff_count() const noexcept {
+    return dff_cells_.size();
+  }
+  [[nodiscard]] Logic4 dff_state(std::size_t i) const {
+    return dff_state_.at(i);
+  }
+  void set_dff_state(std::size_t i, Logic4 v);
+
+  /// Combinational depth (max cell level) — reported by the generator
+  /// benches as the switch's critical path in gate stages.
+  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+
+  // --- fault injection (used by tpg::FaultSimulator) ------------------------
+
+  /// Forces \p net to \p v during every subsequent eval(), modeling a
+  /// stuck-at fault at that net. Multiple forces may be active.
+  void set_force(NetId net, Logic4 v);
+
+  /// Removes all active forces.
+  void clear_forces();
+
+ private:
+  [[nodiscard]] bool has_forces() const noexcept { return n_forces_ > 0; }
+
+  void levelize();
+  Logic4 eval_cell(const Cell& c) const;
+
+  Netlist nl_;
+  std::vector<Logic4> net_val_;
+  std::vector<Logic4> input_val_;
+  std::vector<CellId> comb_order_;   // levelized combinational cells
+  std::vector<CellId> dff_cells_;    // sequential cells, netlist order
+  std::vector<Logic4> dff_state_;
+  std::vector<Logic4> cell_out_;     // last computed output per cell
+  std::vector<bool> net_is_tri_;     // nets with >= 1 tribuf driver
+  std::unordered_map<std::string, std::size_t> input_index_;
+  std::unordered_map<std::string, std::size_t> output_index_;
+  std::vector<Logic4> force_;      // per-net forced value
+  std::vector<bool> force_on_;     // per-net force active flag
+  std::size_t n_forces_ = 0;
+  std::size_t depth_ = 0;
+};
+
+}  // namespace casbus::netlist

@@ -1,0 +1,30 @@
+/// \file opt.hpp
+/// Technology-independent logic optimization.
+///
+/// These passes model what the paper obtained from Synopsys compile: the
+/// raw generator output (the "generic VHDL" flow of §3.3) shrinks under
+/// constant folding, common-subexpression sharing, buffer collapsing and
+/// dead-logic removal. The Table-1 bench reports both raw and optimized
+/// cell counts.
+
+#pragma once
+
+#include "netlist/netlist.hpp"
+
+namespace casbus::netlist {
+
+/// Pass selection for optimize().
+struct OptOptions {
+  bool constant_fold = true;   ///< fold constants, algebraic identities
+  bool share_duplicates = true;///< structural CSE with commutative matching
+  bool collapse_buffers = true;///< forward Buf outputs to their inputs
+  bool dead_cell_elim = true;  ///< drop logic not reaching an output/DFF
+  int max_iterations = 32;     ///< fixpoint cap (each pass is monotone)
+};
+
+/// Returns an optimized copy of \p in; \p in is left untouched.
+/// The result computes the same function on all primary outputs
+/// (X/Z-pessimism of Buf clamping aside, which synthesis also discards).
+Netlist optimize(const Netlist& in, const OptOptions& options = {});
+
+}  // namespace casbus::netlist

@@ -1,0 +1,147 @@
+/// \file wrapper.hpp
+/// P1500-style core test wrapper (1998/1999 working-group proposal era, as
+/// referenced by the paper: [1] IEEE P1500, [2] Marinissen et al. ITC'99).
+///
+/// The wrapper is the interface between the embedded core and the TAM
+/// (paper §1). It provides, per core:
+///   - a Wrapper Instruction Register (WIR) with shift/update staging,
+///   - a 1-bit Wrapper BYpass register (WBY),
+///   - a Wrapper Boundary Register (WBR): one cell per functional terminal
+///     with shift + update stages,
+///   - a serial port WSI/WSO and a parallel port WPI[]/WPO[] through which
+///     the CAS connects bus wires to the core's scan chains (paper Fig. 3
+///     shows the CAS sitting on the wrapper's test terminals),
+///   - core-side test controls: scan enable, gated core clock, BIST
+///     start/done/pass.
+///
+/// All registers advance on Simulation::step ticks under the Wrapper Serial
+/// Control (WSC) wires driven by the SoC test controller.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/module.hpp"
+#include "sim/simulation.hpp"
+#include "util/bitvector.hpp"
+
+namespace casbus::p1500 {
+
+/// Wrapper instruction opcodes (WIR content after update).
+///
+/// The proposal-era instruction set the paper relies on: functional
+/// transparency, serial bypass, boundary preload, external interconnect
+/// test, internal test through serial or parallel ports, and BIST control.
+enum class WrapperInstr : std::uint8_t {
+  Bypass = 0,          ///< WSI->WBY->WSO; core functional (normal mode)
+  Preload = 1,         ///< shift WBR without disturbing function
+  Extest = 2,          ///< drive sys outputs / capture sys inputs (WBR)
+  IntestSerial = 3,    ///< scan chains concatenated into the serial path
+  IntestParallel = 4,  ///< scan chains on WPI/WPO (CAS-facing, Fig. 2a)
+  Bist = 5,            ///< run embedded BIST; start/result on WPI0/WPO0
+};
+
+/// Number of WIR bits needed for the instruction set.
+inline constexpr unsigned kWirBits = 3;
+
+/// Wrapper Serial Control wires, shared across wrappers of one SoC and
+/// driven by the central test controller (paper: "All test control signals
+/// ... are connected to a central SoC test controller").
+struct WscWires {
+  sim::Wire* select_wir = nullptr;  ///< 1: serial path is the WIR
+  sim::Wire* shift_wr = nullptr;    ///< shift selected register this cycle
+  sim::Wire* capture_wr = nullptr;  ///< capture into selected register
+  sim::Wire* update_wr = nullptr;   ///< transfer shift stage -> update stage
+};
+
+/// Functional terminals: system side and core side of the boundary cells.
+struct FunctionalPorts {
+  std::vector<sim::Wire*> sys_in;    ///< from SoC interconnect
+  std::vector<sim::Wire*> core_in;   ///< wrapper drives toward core
+  std::vector<sim::Wire*> core_out;  ///< from core
+  std::vector<sim::Wire*> sys_out;   ///< wrapper drives toward SoC
+};
+
+/// Core-side test terminals.
+struct CoreTestPorts {
+  sim::Wire* scan_en = nullptr;           ///< mux-D scan enable
+  sim::Wire* core_clk_en = nullptr;       ///< gated core clock enable
+  std::vector<sim::Wire*> scan_in;        ///< one per internal chain
+  std::vector<sim::Wire*> scan_out;       ///< one per internal chain
+  std::vector<std::size_t> chain_lengths; ///< documented lengths, scan order
+  sim::Wire* bist_start = nullptr;        ///< pulse to launch BIST
+  sim::Wire* bist_done = nullptr;         ///< BIST finished
+  sim::Wire* bist_pass = nullptr;         ///< BIST verdict (valid when done)
+};
+
+/// TAM-side test terminals.
+struct TamPorts {
+  sim::Wire* wsi = nullptr;          ///< wrapper serial in
+  sim::Wire* wso = nullptr;          ///< wrapper serial out
+  std::vector<sim::Wire*> wpi;       ///< parallel in, one per chain (>=1)
+  std::vector<sim::Wire*> wpo;       ///< parallel out
+};
+
+/// The behavioral wrapper model.
+class Wrapper : public sim::Module {
+ public:
+  /// All wire structures must reference wires owned by \p sim_ctx and must
+  /// stay valid for the wrapper's lifetime. scan_in/scan_out sizes define
+  /// the chain count; wpi/wpo must have the same size (or size 1 for
+  /// BIST-only cores with no chains).
+  Wrapper(sim::Simulation& sim_ctx, std::string name, FunctionalPorts func,
+          CoreTestPorts core, TamPorts tam, WscWires wsc);
+
+  void evaluate() override;
+  void tick() override;
+  void reset() override;
+
+  /// Instruction currently in force (after the last update).
+  [[nodiscard]] WrapperInstr instruction() const noexcept { return instr_; }
+
+  /// Raw WIR shift-stage content (diagnostic).
+  [[nodiscard]] const BitVector& wir_shift_stage() const noexcept {
+    return wir_shift_;
+  }
+
+  /// Total serial-path length in bits for the given instruction: what a
+  /// test program must shift to fully load/unload the selected register.
+  [[nodiscard]] std::size_t serial_length(WrapperInstr instr) const;
+
+  /// Number of internal scan chains.
+  [[nodiscard]] std::size_t chain_count() const noexcept {
+    return core_.scan_in.size();
+  }
+
+  /// Boundary-register geometry (cells on functional inputs / outputs).
+  [[nodiscard]] std::size_t input_cell_count() const noexcept {
+    return in_cells_.size();
+  }
+  [[nodiscard]] std::size_t output_cell_count() const noexcept {
+    return out_cells_.size();
+  }
+
+ private:
+  struct BoundaryCell {
+    bool shift_stage = false;
+    bool update_stage = false;
+  };
+
+  [[nodiscard]] bool selecting_wir() const;
+  [[nodiscard]] Logic4 serial_path_tail() const;
+
+  FunctionalPorts func_;
+  CoreTestPorts core_;
+  TamPorts tam_;
+  WscWires wsc_;
+
+  BitVector wir_shift_{kWirBits};
+  WrapperInstr instr_ = WrapperInstr::Bypass;
+  bool wby_ = false;
+  std::vector<BoundaryCell> in_cells_;
+  std::vector<BoundaryCell> out_cells_;
+};
+
+}  // namespace casbus::p1500

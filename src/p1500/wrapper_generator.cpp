@@ -1,0 +1,170 @@
+#include "p1500/wrapper_generator.hpp"
+
+#include <sstream>
+
+#include "netlist/builder.hpp"
+#include "p1500/wrapper.hpp"
+
+namespace casbus::p1500 {
+
+using netlist::NetId;
+using netlist::NetlistBuilder;
+
+netlist::Netlist generate_wrapper(const WrapperSpec& spec) {
+  NetlistBuilder b(spec.name);
+  const std::size_t ni = spec.n_func_in;
+  const std::size_t no = spec.n_func_out;
+  const std::size_t nc = spec.n_chains;
+  // BIST-only wrappers still expose one parallel port pair (Fig. 2b).
+  const std::size_t np = std::max<std::size_t>(nc, spec.has_bist ? 1 : 0);
+
+  // ---- ports ---------------------------------------------------------------
+  const NetId wsi = b.input("wsi");
+  const NetId sel = b.input("select_wir");
+  const NetId shift = b.input("shift_wr");
+  const NetId capture = b.input("capture_wr");
+  const NetId update = b.input("update_wr");
+
+  std::vector<NetId> wpi, sys_in, core_out, scan_so;
+  for (std::size_t j = 0; j < np; ++j)
+    wpi.push_back(b.input("wpi" + std::to_string(j)));
+  for (std::size_t i = 0; i < ni; ++i)
+    sys_in.push_back(b.input("sys_in" + std::to_string(i)));
+  for (std::size_t i = 0; i < no; ++i)
+    core_out.push_back(b.input("core_out" + std::to_string(i)));
+  for (std::size_t c = 0; c < nc; ++c)
+    scan_so.push_back(b.input("scan_so" + std::to_string(c)));
+  NetId bist_done = netlist::kNoNet;
+  NetId bist_pass = netlist::kNoNet;
+  if (spec.has_bist) {
+    bist_done = b.input("bist_done");
+    bist_pass = b.input("bist_pass");
+  }
+
+  const NetId not_sel = b.not_(sel);
+  const NetId shf = b.and2(shift, not_sel);   // data-register shift
+  const NetId cap = b.and2(capture, not_sel); // data-register capture
+  const NetId upd = b.and2(update, not_sel);  // data-register update
+
+  // ---- WIR: 3-bit shift stage + update stage -------------------------------
+  const NetId wir_en = b.and2(sel, shift);
+  std::vector<NetId> wir_q;
+  NetId prev = wsi;
+  for (unsigned k = 0; k < kWirBits; ++k) {
+    prev = b.dffe(prev, wir_en, "wir_s" + std::to_string(k));
+    wir_q.push_back(prev);
+  }
+  const NetId wir_upd = b.and2(sel, update);
+  std::vector<NetId> instr;
+  for (unsigned k = 0; k < kWirBits; ++k)
+    instr.push_back(
+        b.dffe(wir_q[k], wir_upd, "wir_u" + std::to_string(k)));
+
+  // Instruction decode; unknown opcodes (6, 7) degrade to BYPASS.
+  const NetId is_preload = b.eq_const(instr, 1);
+  const NetId is_extest = b.eq_const(instr, 2);
+  const NetId is_intest_s = b.eq_const(instr, 3);
+  const NetId is_intest_p = b.eq_const(instr, 4);
+  const NetId is_bist = b.eq_const(instr, 5);
+  const NetId is_bypass = b.not_(b.or_n(
+      {is_preload, is_extest, is_intest_s, is_intest_p, is_bist}));
+  const NetId bnd_instr =
+      b.or_n({is_preload, is_extest, is_intest_s});  // boundary serial path
+  const NetId wby_instr = b.or_n({is_bypass, is_intest_p, is_bist});
+  const NetId functional = b.or2(is_bypass, is_preload);
+  const NetId is_intest = b.or2(is_intest_s, is_intest_p);
+
+  // ---- WBY -----------------------------------------------------------------
+  const NetId wby_q = b.dffe(wsi, b.and2(shf, wby_instr), "wby");
+
+  // ---- boundary register ----------------------------------------------------
+  const NetId bnd_shift = b.and2(b.and2(bnd_instr, shf), b.not_(cap));
+  const NetId cap_in = b.and2(is_extest, cap);     // in-cells capture
+  const NetId cap_out = b.and2(is_intest_s, cap);  // out-cells capture
+
+  std::vector<NetId> s_in, u_in;
+  prev = wsi;
+  for (std::size_t i = 0; i < ni; ++i) {
+    const NetId d = b.mux2(cap_in, prev, sys_in[i]);
+    const NetId q = b.dffe(d, b.or2(cap_in, bnd_shift),
+                           "bin_s" + std::to_string(i));
+    s_in.push_back(q);
+    u_in.push_back(b.dffe(q, b.and2(upd, bnd_instr),
+                          "bin_u" + std::to_string(i)));
+    prev = q;
+  }
+  const NetId in_tail = prev;  // wsi when ni == 0
+
+  // Head of the out-cell path: last chain's scan-out in serial intest,
+  // otherwise the in-cell tail.
+  NetId out_head = in_tail;
+  if (nc > 0)
+    out_head = b.mux2(is_intest_s, in_tail, scan_so.back());
+
+  std::vector<NetId> s_out, u_out;
+  prev = out_head;
+  for (std::size_t i = 0; i < no; ++i) {
+    const NetId d = b.mux2(cap_out, prev, core_out[i]);
+    const NetId q = b.dffe(d, b.or2(cap_out, bnd_shift),
+                           "bout_s" + std::to_string(i));
+    s_out.push_back(q);
+    u_out.push_back(b.dffe(q, b.and2(upd, bnd_instr),
+                           "bout_u" + std::to_string(i)));
+    prev = q;
+  }
+
+  // ---- core-side controls ----------------------------------------------------
+  b.output("scan_en", b.and2(is_intest, shf));
+  b.output("core_clk_en",
+           b.or_n({functional, is_bist,
+                   b.and2(is_intest, b.or2(shf, cap))}));
+  if (spec.has_bist) {
+    const NetId start =
+        np > 0 ? b.and2(is_bist, wpi[0]) : b.and2(is_bist, b.const0());
+    b.output("bist_start", start);
+  }
+
+  // ---- functional terminals ---------------------------------------------------
+  for (std::size_t i = 0; i < ni; ++i)
+    b.output("core_in" + std::to_string(i),
+             b.mux2(functional, u_in[i], sys_in[i]));
+  for (std::size_t i = 0; i < no; ++i)
+    b.output("sys_out" + std::to_string(i),
+             b.mux2(functional, u_out[i], core_out[i]));
+
+  // ---- scan-chain sources ------------------------------------------------------
+  for (std::size_t c = 0; c < nc; ++c) {
+    const NetId serial_src = c == 0 ? in_tail : scan_so[c - 1];
+    const NetId par = c < wpi.size() ? wpi[c] : b.const0();
+    const NetId v = b.mux2(is_intest_p, b.and2(is_intest_s, serial_src),
+                           par);
+    // and2 with is_intest_s zeroes the source outside serial intest,
+    // matching the behavioral model's "else 0".
+    b.output("scan_si" + std::to_string(c), v);
+  }
+
+  // ---- parallel outputs ---------------------------------------------------------
+  for (std::size_t j = 0; j < np; ++j) {
+    NetId base = j < nc ? scan_so[j] : b.const0();
+    if (spec.has_bist) {
+      const NetId verdict = b.and2(bist_done, bist_pass);
+      base = b.mux2(is_bist, base, verdict);
+    }
+    b.output("wpo" + std::to_string(j), base);
+  }
+
+  // ---- serial output ----------------------------------------------------------
+  NetId tail = in_tail;
+  if (nc > 0) {
+    const NetId with_chains = b.and2(is_intest_s, b.const1());
+    tail = b.mux2(with_chains, in_tail, scan_so.back());
+  }
+  if (no > 0) tail = s_out.back();
+  const NetId data_wso = b.mux2(bnd_instr, wby_q, tail);
+  b.output("wso", b.mux2(sel, data_wso,
+                         wir_q.back()));
+
+  return b.take();
+}
+
+}  // namespace casbus::p1500

@@ -1,0 +1,45 @@
+/// \file wrapper_generator.hpp
+/// Gate-level generation of the P1500-style wrapper.
+///
+/// Together with the CAS generator this completes the paper's §5 claim:
+/// "Associated with a SoC central test controller ... and with the P1500
+/// wrappers, the proposed CAS-BUS can offer a complete test architecture
+/// for the SoC" — the library can emit every hardware piece of that
+/// architecture as synthesizable netlists.
+///
+/// Port contract of the generated wrapper (all single-bit):
+///   TAM side   : wsi (in), wso (out), wpi<j> (in), wpo<j> (out)
+///   control    : select_wir, shift_wr, capture_wr, update_wr (in)
+///   system side: sys_in<i> (in), sys_out<i> (out)
+///   core side  : core_in<i> (out), core_out<i> (in),
+///                scan_en (out), core_clk_en (out),
+///                scan_si<c> (out), scan_so<c> (in),
+///                bist_start (out), bist_done (in), bist_pass (in)
+///                                  [BIST pins only when has_bist]
+///
+/// Semantics are bit-exact with the behavioral p1500::Wrapper (verified by
+/// the equivalence suite in tests/test_wrapper_generator.cpp).
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace casbus::p1500 {
+
+/// Geometry of a wrapper to generate.
+struct WrapperSpec {
+  std::string name = "wrapper";
+  std::size_t n_func_in = 0;    ///< functional inputs (boundary in-cells)
+  std::size_t n_func_out = 0;   ///< functional outputs (boundary out-cells)
+  std::size_t n_chains = 0;     ///< parallel-port pairs (wpi/wpo)
+  bool has_bist = false;        ///< BIST start/done/pass pins
+};
+
+/// Generates the wrapper netlist for \p spec.
+netlist::Netlist generate_wrapper(const WrapperSpec& spec);
+
+}  // namespace casbus::p1500

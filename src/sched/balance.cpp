@@ -1,0 +1,223 @@
+#include "sched/balance.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+namespace casbus::sched {
+
+namespace {
+
+Balance make_balance(const std::vector<ChainItem>& items, unsigned wires,
+                     const std::vector<unsigned>& wire_of_item) {
+  Balance b;
+  b.wire_of_item = wire_of_item;
+  b.wire_load.assign(wires, 0);
+  for (std::size_t i = 0; i < items.size(); ++i)
+    b.wire_load[wire_of_item[i]] += items[i].length;
+  return b;
+}
+
+}  // namespace
+
+Balance assign_round_robin(const std::vector<ChainItem>& items,
+                           unsigned wires) {
+  CASBUS_REQUIRE(wires >= 1, "assign_round_robin: need at least one wire");
+  std::vector<unsigned> w(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i)
+    w[i] = static_cast<unsigned>(i % wires);
+  return make_balance(items, wires, w);
+}
+
+Balance assign_lpt(const std::vector<ChainItem>& items, unsigned wires) {
+  CASBUS_REQUIRE(wires >= 1, "assign_lpt: need at least one wire");
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return items[a].length > items[b].length;
+                   });
+  std::vector<unsigned> w(items.size(), 0);
+  std::vector<std::size_t> load(wires, 0);
+  for (const std::size_t i : order) {
+    const auto best = static_cast<unsigned>(
+        std::min_element(load.begin(), load.end()) - load.begin());
+    w[i] = best;
+    load[best] += items[i].length;
+  }
+  return make_balance(items, wires, w);
+}
+
+Balance assign_lpt_refined(const std::vector<ChainItem>& items,
+                           unsigned wires) {
+  Balance b = assign_lpt(items, wires);
+  if (items.empty()) return b;
+
+  // First-improvement pairwise swaps and moves until a fixpoint.
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    const std::size_t before = b.max_load();
+
+    // Move: take an item off a maximal wire if another wire can absorb it.
+    for (std::size_t i = 0; i < items.size() && !improved; ++i) {
+      const unsigned src = b.wire_of_item[i];
+      if (b.wire_load[src] != before) continue;
+      for (unsigned dst = 0; dst < wires; ++dst) {
+        if (dst == src) continue;
+        if (b.wire_load[dst] + items[i].length < before) {
+          b.wire_load[src] -= items[i].length;
+          b.wire_load[dst] += items[i].length;
+          b.wire_of_item[i] = dst;
+          improved = true;
+          break;
+        }
+      }
+    }
+    // Swap: exchange two items across a maximal wire.
+    for (std::size_t i = 0; i < items.size() && !improved; ++i) {
+      const unsigned wi = b.wire_of_item[i];
+      if (b.wire_load[wi] != before) continue;
+      for (std::size_t j = 0; j < items.size() && !improved; ++j) {
+        const unsigned wj = b.wire_of_item[j];
+        if (wj == wi || items[j].length >= items[i].length) continue;
+        const std::size_t delta = items[i].length - items[j].length;
+        if (b.wire_load[wj] + delta < before) {
+          b.wire_load[wi] -= delta;
+          b.wire_load[wj] += delta;
+          std::swap(b.wire_of_item[i], b.wire_of_item[j]);
+          improved = true;
+        }
+      }
+    }
+  }
+  return b;
+}
+
+namespace {
+
+/// True when moving items[i] onto `wire` keeps per-core wire uniqueness
+/// (unless that core is overflowing the bus anyway).
+bool wire_free_for(const std::vector<ChainItem>& items,
+                   const std::vector<unsigned>& wire_of_item, unsigned wires,
+                   std::size_t i, unsigned wire) {
+  std::size_t core_chains = 0;
+  for (const ChainItem& it : items)
+    if (it.core == items[i].core) ++core_chains;
+  if (core_chains > wires) return true;  // relaxed: wrapper concatenation
+  for (std::size_t j = 0; j < items.size(); ++j) {
+    if (j == i || items[j].core != items[i].core) continue;
+    if (wire_of_item[j] == wire) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Balance assign_lpt_grouped(const std::vector<ChainItem>& items,
+                           unsigned wires) {
+  CASBUS_REQUIRE(wires >= 1, "assign_lpt_grouped: need at least one wire");
+  std::vector<std::size_t> order(items.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return items[a].length > items[b].length;
+                   });
+  std::vector<unsigned> w(items.size(), 0);
+  std::vector<std::size_t> load(wires, 0);
+  for (const std::size_t i : order) {
+    unsigned best = 0;
+    std::size_t best_load = SIZE_MAX;
+    bool found = false;
+    for (unsigned cand = 0; cand < wires; ++cand) {
+      if (!wire_free_for(items, w, wires, i, cand)) continue;
+      if (load[cand] < best_load) {
+        best_load = load[cand];
+        best = cand;
+        found = true;
+      }
+    }
+    if (!found) {  // constraint unsatisfiable; fall back to least loaded
+      best = static_cast<unsigned>(
+          std::min_element(load.begin(), load.end()) - load.begin());
+    }
+    w[i] = best;
+    load[best] += items[i].length;
+  }
+  return make_balance(items, wires, w);
+}
+
+Balance assign_lpt_grouped_refined(const std::vector<ChainItem>& items,
+                                   unsigned wires) {
+  Balance b = assign_lpt_grouped(items, wires);
+  if (items.empty()) return b;
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    const std::size_t before = b.max_load();
+    // Constraint-preserving moves off a maximal wire.
+    for (std::size_t i = 0; i < items.size() && !improved; ++i) {
+      const unsigned src = b.wire_of_item[i];
+      if (b.wire_load[src] != before) continue;
+      for (unsigned dst = 0; dst < wires; ++dst) {
+        if (dst == src ||
+            !wire_free_for(items, b.wire_of_item, wires, i, dst))
+          continue;
+        if (b.wire_load[dst] + items[i].length < before) {
+          b.wire_load[src] -= items[i].length;
+          b.wire_load[dst] += items[i].length;
+          b.wire_of_item[i] = dst;
+          improved = true;
+          break;
+        }
+      }
+    }
+    // Constraint-preserving swaps.
+    for (std::size_t i = 0; i < items.size() && !improved; ++i) {
+      const unsigned wi = b.wire_of_item[i];
+      if (b.wire_load[wi] != before) continue;
+      for (std::size_t j = 0; j < items.size() && !improved; ++j) {
+        const unsigned wj = b.wire_of_item[j];
+        if (wj == wi || items[j].length >= items[i].length) continue;
+        const std::size_t delta = items[i].length - items[j].length;
+        if (b.wire_load[wj] + delta >= before) continue;
+        // Tentative swap must keep both cores' constraints.
+        std::vector<unsigned> trial = b.wire_of_item;
+        std::swap(trial[i], trial[j]);
+        // Re-check uniqueness for both moved items.
+        const auto ok = [&](std::size_t k) {
+          trial[k] = trial[k];  // value already swapped in
+          for (std::size_t m = 0; m < items.size(); ++m) {
+            if (m == k || items[m].core != items[k].core) continue;
+            std::size_t core_chains = 0;
+            for (const ChainItem& it : items)
+              if (it.core == items[k].core) ++core_chains;
+            if (core_chains > wires) return true;
+            if (trial[m] == trial[k]) return false;
+          }
+          return true;
+        };
+        if (!ok(i) || !ok(j)) continue;
+        b.wire_load[wi] -= delta;
+        b.wire_load[wj] += delta;
+        b.wire_of_item = std::move(trial);
+        improved = true;
+      }
+    }
+  }
+  return b;
+}
+
+std::size_t balance_lower_bound(const std::vector<ChainItem>& items,
+                                unsigned wires) {
+  CASBUS_REQUIRE(wires >= 1, "balance_lower_bound: need >= 1 wire");
+  std::size_t total = 0;
+  std::size_t longest = 0;
+  for (const ChainItem& it : items) {
+    total += it.length;
+    longest = std::max(longest, it.length);
+  }
+  return std::max<std::size_t>(longest, (total + wires - 1) / wires);
+}
+
+}  // namespace casbus::sched

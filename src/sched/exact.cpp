@@ -1,0 +1,117 @@
+#include "sched/exact.hpp"
+
+#include <functional>
+
+#include <algorithm>
+
+namespace casbus::sched {
+
+namespace {
+
+/// Prices a full partition: scan groups as sessions, then BIST cores
+/// slotted greedily (same policy as SessionScheduler::greedy, so the
+/// search optimizes over the scan partition — the dominant dimension).
+std::uint64_t price_partition(
+    const SessionScheduler& sched,
+    const std::vector<std::vector<std::size_t>>& groups,
+    const std::vector<std::size_t>& bist, unsigned width,
+    std::vector<ScheduledSession>* out_sessions) {
+  std::vector<std::vector<std::size_t>> group_bist(groups.size());
+  std::vector<std::vector<std::size_t>> extra;
+
+  for (const std::size_t core : bist) {
+    std::size_t best_group = groups.size();
+    std::uint64_t best_delta =
+        sched.price_session({}, {core}).total_cycles();
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      if (group_bist[g].size() + 1 >= width) continue;
+      std::vector<std::size_t> with = group_bist[g];
+      with.push_back(core);
+      const std::uint64_t t_with =
+          sched.price_session(groups[g], with).total_cycles();
+      const std::uint64_t t_without =
+          sched.price_session(groups[g], group_bist[g]).total_cycles();
+      if (t_with - t_without < best_delta) {
+        best_delta = t_with - t_without;
+        best_group = g;
+      }
+    }
+    if (best_group < groups.size())
+      group_bist[best_group].push_back(core);
+    else
+      extra.push_back({core});
+  }
+
+  std::uint64_t total = 0;
+  if (out_sessions != nullptr) out_sessions->clear();
+  for (std::size_t g = 0; g < groups.size(); ++g) {
+    ScheduledSession s = sched.price_session(groups[g], group_bist[g]);
+    total += s.total_cycles();
+    if (out_sessions != nullptr) out_sessions->push_back(std::move(s));
+  }
+  for (const auto& chunk : extra) {
+    ScheduledSession s = sched.price_session({}, chunk);
+    total += s.total_cycles();
+    if (out_sessions != nullptr) out_sessions->push_back(std::move(s));
+  }
+  return total;
+}
+
+}  // namespace
+
+ExactResult exact_schedule(const SessionScheduler& scheduler,
+                           std::size_t max_cores) {
+  std::vector<std::size_t> scan, bist;
+  for (std::size_t i = 0; i < scheduler.cores().size(); ++i) {
+    if (scheduler.cores()[i].is_scan())
+      scan.push_back(i);
+    else
+      bist.push_back(i);
+  }
+  CASBUS_REQUIRE(scan.size() <= max_cores,
+                 "exact_schedule: instance too large for exhaustive search");
+
+  ExactResult result;
+  std::uint64_t best_total = UINT64_MAX;
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<std::vector<std::size_t>> best_groups;
+
+  // Restricted-growth enumeration of set partitions.
+  const std::function<void(std::size_t)> recurse = [&](std::size_t idx) {
+    if (idx == scan.size()) {
+      ++result.partitions_tried;
+      const std::uint64_t total = price_partition(
+          scheduler, groups, bist, scheduler.width(), nullptr);
+      if (total < best_total) {
+        best_total = total;
+        best_groups = groups;
+      }
+      return;
+    }
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      groups[g].push_back(scan[idx]);
+      recurse(idx + 1);
+      groups[g].pop_back();
+    }
+    groups.push_back({scan[idx]});
+    recurse(idx + 1);
+    groups.pop_back();
+  };
+  recurse(0);
+
+  // Materialize the winning schedule.
+  if (scan.empty()) {
+    // Pure-BIST: single greedy chunking is already optimal up to order.
+    result.schedule = SessionScheduler(scheduler.cores(),
+                                       scheduler.width())
+                          .single_session();
+    return result;
+  }
+  std::vector<ScheduledSession> sessions;
+  result.schedule.total_cycles = price_partition(
+      scheduler, best_groups, bist, scheduler.width(), &sessions);
+  result.schedule.sessions = std::move(sessions);
+  return result;
+}
+
+}  // namespace casbus::sched

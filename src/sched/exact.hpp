@@ -1,0 +1,30 @@
+/// \file exact.hpp
+/// Exact (exhaustive) session scheduling for small instances.
+///
+/// Enumerates every partition of the scan cores into ordered-irrelevant
+/// session groups (Bell-number search, feasible to ~10 cores), prices each
+/// partition with the same validated time model the heuristics use, and
+/// returns the optimum. Used to measure how far the polynomial heuristics
+/// (greedy / phased / rails) sit from optimal — an evaluation the paper
+/// could not run in 2000.
+
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace casbus::sched {
+
+/// Result of the exhaustive search.
+struct ExactResult {
+  Schedule schedule;                ///< an optimal partition schedule
+  std::uint64_t partitions_tried = 0;
+  double heuristic_gap = 0.0;       ///< best()/optimal − 1 (filled by bench)
+};
+
+/// Searches all partitions of the scan cores (BIST cores are slotted like
+/// the greedy scheduler does). Throws when the instance has more than
+/// \p max_cores scan cores (the search is exponential).
+ExactResult exact_schedule(const SessionScheduler& scheduler,
+                           std::size_t max_cores = 10);
+
+}  // namespace casbus::sched

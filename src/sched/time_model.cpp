@@ -1,0 +1,19 @@
+#include "sched/time_model.hpp"
+
+#include "core/instruction.hpp"
+
+namespace casbus::sched {
+
+unsigned cas_ir_bits(unsigned n, unsigned p) {
+  return tam::InstructionSet(n, p).k();
+}
+
+std::uint64_t session_config_cycles(
+    const std::vector<std::pair<unsigned, unsigned>>& cas_geometries,
+    std::size_t n_wrappers) {
+  std::size_t ir_bits = 0;
+  for (const auto& [n, p] : cas_geometries) ir_bits += cas_ir_bits(n, p);
+  return configure_cycles(ir_bits) + wir_cycles(n_wrappers);
+}
+
+}  // namespace casbus::sched

@@ -1,0 +1,71 @@
+/// \file time_model.hpp
+/// Analytic test-time models for CAS-BUS test programs.
+///
+/// These formulas are validated cycle-for-cycle against the behavioral
+/// simulation (see SocTesterTest.ScanSessionCycleCountMatchesFormula): the
+/// scheduler can therefore explore large SoCs and wide parameter sweeps
+/// without simulating.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/error.hpp"
+
+namespace casbus::sched {
+
+/// What a core needs from the TAM, abstracted for scheduling.
+struct CoreTestSpec {
+  std::string name;
+  /// Scan-chain lengths (empty for pure-BIST cores).
+  std::vector<std::size_t> chains;
+  /// Scan pattern count.
+  std::size_t patterns = 0;
+  /// Embedded BIST session length (0 = none). BIST needs one wire for the
+  /// start/verdict handshake but no shifting.
+  std::uint64_t bist_cycles = 0;
+
+  /// Total scan bits per pattern.
+  [[nodiscard]] std::size_t total_scan_bits() const {
+    std::size_t n = 0;
+    for (const std::size_t c : chains) n += c;
+    return n;
+  }
+  [[nodiscard]] bool is_scan() const { return !chains.empty(); }
+};
+
+/// Cycles to apply \p patterns scan patterns when the longest wire load is
+/// \p max_wire_load bits: the classical V*(L+1) + L (interleaved
+/// load/unload with one capture per pattern).
+[[nodiscard]] constexpr std::uint64_t scan_cycles(std::size_t max_wire_load,
+                                                  std::size_t patterns) {
+  if (max_wire_load == 0 || patterns == 0) return 0;
+  return static_cast<std::uint64_t>(patterns) * (max_wire_load + 1) +
+         max_wire_load;
+}
+
+/// Cycles to serially configure a chain of CAS instruction registers with
+/// total width \p total_ir_bits (shift + one update cycle), paper Fig. 4a.
+[[nodiscard]] constexpr std::uint64_t configure_cycles(
+    std::size_t total_ir_bits) {
+  return total_ir_bits + 1;
+}
+
+/// Cycles to load every wrapper instruction over the serial ring.
+[[nodiscard]] constexpr std::uint64_t wir_cycles(std::size_t n_wrappers) {
+  return 3 * n_wrappers + 1;  // kWirBits per wrapper + update
+}
+
+/// Instruction-register width of a CAS with geometry (n, p) — delegated to
+/// the core library's formula (k = ceil(log2(A(N,P)+2))).
+[[nodiscard]] unsigned cas_ir_bits(unsigned n, unsigned p);
+
+/// Total configuration overhead of one session on a bus with the given CAS
+/// geometries: CAS chain shift + update + wrapper ring load.
+[[nodiscard]] std::uint64_t session_config_cycles(
+    const std::vector<std::pair<unsigned, unsigned>>& cas_geometries,
+    std::size_t n_wrappers);
+
+}  // namespace casbus::sched

@@ -1,0 +1,50 @@
+#include "sched/width_explorer.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "netlist/area.hpp"
+
+namespace casbus::sched {
+
+std::vector<WidthPoint> explore_widths(
+    const std::vector<CoreTestSpec>& cores, unsigned w_min, unsigned w_max,
+    tam::CasImplementation impl) {
+  CASBUS_REQUIRE(w_min >= 1 && w_min <= w_max,
+                 "explore_widths: invalid width range");
+  const netlist::AreaModel area = netlist::AreaModel::typical();
+  std::vector<WidthPoint> points;
+
+  for (unsigned n = w_min; n <= w_max; ++n) {
+    WidthPoint pt;
+    pt.width = n;
+
+    SessionScheduler scheduler(cores, n);
+    pt.test_cycles = scheduler.best().total_cycles;
+
+    // One CAS per core; memoize geometry costs (cores often share P).
+    std::map<unsigned, std::pair<double, std::size_t>> geometry_cache;
+    for (const CoreTestSpec& core : cores) {
+      const auto p = static_cast<unsigned>(
+          core.is_scan() ? std::min<std::size_t>(core.chains.size(), n)
+                         : 1);
+      auto it = geometry_cache.find(p);
+      if (it == geometry_cache.end()) {
+        const tam::GeneratedCas cas =
+            tam::generate_cas(n, p, {impl, true});
+        it = geometry_cache
+                 .emplace(p, std::make_pair(area.total(cas.netlist),
+                                            cas.netlist.cell_count()))
+                 .first;
+      }
+      pt.cas_area_ge += it->second.first;
+      pt.cas_cells += it->second.second;
+      pt.pass_transistor_ge +=
+          tam::pass_transistor_area(n, p).gate_equivalents;
+    }
+    points.push_back(pt);
+  }
+  return points;
+}
+
+}  // namespace casbus::sched

@@ -1,0 +1,35 @@
+/// \file width_explorer.hpp
+/// The §3.2 trade-off: "the larger is the width of the test bus (N), the
+/// shorter is the overall test time. ... when the width of the test bus
+/// becomes important, the induced CAS-BUS overhead can be significant. A
+/// good trade-off between test time, test requirements and CAS-BUS
+/// overhead allows to choose an optimal width for the test bus."
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cas_generator.hpp"
+#include "sched/scheduler.hpp"
+
+namespace casbus::sched {
+
+/// One point of the width sweep.
+struct WidthPoint {
+  unsigned width = 0;
+  std::uint64_t test_cycles = 0;   ///< greedy schedule total
+  double cas_area_ge = 0.0;        ///< sum of all CAS areas (GE)
+  std::size_t cas_cells = 0;       ///< sum of CAS cell counts
+  double pass_transistor_ge = 0.0; ///< same switches, pass-transistor style
+};
+
+/// Evaluates the SoC across bus widths [w_min, w_max]: schedule time from
+/// the greedy scheduler, area from generated gate-level CASes (given
+/// implementation) plus the §3.3 pass-transistor alternative.
+std::vector<WidthPoint> explore_widths(
+    const std::vector<CoreTestSpec>& cores, unsigned w_min, unsigned w_max,
+    tam::CasImplementation impl =
+        tam::CasImplementation::OptimizedGateLevel);
+
+}  // namespace casbus::sched

@@ -1,0 +1,46 @@
+/// \file module.hpp
+/// Base class for behavioral hardware models in the cycle-level kernel.
+
+#pragma once
+
+#include <string>
+
+namespace casbus::sim {
+
+/// A behavioral hardware block with combinational and sequential behavior.
+///
+/// The kernel runs each clock cycle in two phases:
+///   1. settle — `evaluate()` is called on every module repeatedly until no
+///      wire changes value (combinational fixpoint / delta cycles);
+///   2. tick — `tick()` is called once on every module; this is the rising
+///      clock edge at which internal registers capture their inputs.
+///
+/// `evaluate()` must be idempotent given unchanged inputs and must only
+/// derive combinational outputs from wires and internal registered state —
+/// never update registers (C++ Core Guidelines I.1: make dependencies
+/// explicit; the phase split is the contract).
+class Module {
+ public:
+  explicit Module(std::string name) : name_(std::move(name)) {}
+  virtual ~Module() = default;
+
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  /// Derives combinational outputs from current wire values and state.
+  virtual void evaluate() = 0;
+
+  /// Rising clock edge: captures register next-state.
+  virtual void tick() {}
+
+  /// Asynchronous reset to power-up state.
+  virtual void reset() {}
+
+  /// Instance name (used in traces and error messages).
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  std::string name_;
+};
+
+}  // namespace casbus::sim

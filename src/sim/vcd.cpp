@@ -1,0 +1,68 @@
+#include "sim/vcd.hpp"
+
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace casbus::sim {
+
+void VcdWriter::watch(const Wire& wire, std::string alias) {
+  CASBUS_REQUIRE(!header_done_, "VcdWriter::watch after first sample");
+  Entry e;
+  e.wire = &wire;
+  e.name = alias.empty() ? wire.name() : std::move(alias);
+  wires_.push_back(std::move(e));
+}
+
+void VcdWriter::watch(const WireBundle& bundle, const std::string& base) {
+  for (std::size_t i = 0; i < bundle.size(); ++i) {
+    std::ostringstream os;
+    os << base << '[' << i << ']';
+    watch(bundle[i], os.str());
+  }
+}
+
+std::string VcdWriter::id_code(std::size_t index) {
+  // Printable-ASCII base-94 identifier per the VCD grammar.
+  std::string id;
+  do {
+    id.push_back(static_cast<char>('!' + index % 94));
+    index /= 94;
+  } while (index != 0);
+  return id;
+}
+
+void VcdWriter::emit_header() {
+  os_ << "$date casbus simulation $end\n"
+      << "$version casbus-1.0 $end\n"
+      << "$timescale 1ns $end\n"
+      << "$scope module casbus $end\n";
+  for (std::size_t i = 0; i < wires_.size(); ++i) {
+    std::string name = wires_[i].name;
+    // VCD identifiers cannot contain spaces; replace them defensively.
+    for (char& c : name)
+      if (c == ' ') c = '_';
+    os_ << "$var wire 1 " << id_code(i) << ' ' << name << " $end\n";
+  }
+  os_ << "$upscope $end\n$enddefinitions $end\n";
+  header_done_ = true;
+}
+
+void VcdWriter::sample(std::uint64_t cycle) {
+  if (!header_done_) emit_header();
+  bool time_emitted = false;
+  for (std::size_t i = 0; i < wires_.size(); ++i) {
+    Entry& e = wires_[i];
+    const Logic4 v = e.wire->get();
+    if (e.dumped && v == e.last) continue;
+    if (!time_emitted) {
+      os_ << '#' << cycle << '\n';
+      time_emitted = true;
+    }
+    os_ << to_char(v) << id_code(i) << '\n';
+    e.last = v;
+    e.dumped = true;
+  }
+}
+
+}  // namespace casbus::sim

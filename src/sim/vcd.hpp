@@ -1,0 +1,55 @@
+/// \file vcd.hpp
+/// Value-change-dump (IEEE 1364 §18) trace writer for debugging and for
+/// inspecting CAS-BUS configuration/test sessions in a waveform viewer.
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/wire.hpp"
+
+namespace casbus::sim {
+
+/// Streams wire transitions to a VCD file.
+///
+/// Wires are registered before the first sample; the header is emitted
+/// lazily on the first `sample()` call. One VCD time unit equals one clock
+/// cycle of the simulation.
+class VcdWriter {
+ public:
+  /// Writes to \p os, which must outlive the writer.
+  explicit VcdWriter(std::ostream& os) : os_(os) {}
+
+  /// Registers \p wire under its own name (or \p alias when non-empty).
+  void watch(const Wire& wire, std::string alias = {});
+
+  /// Registers every wire of \p bundle as `<base>[i]`.
+  void watch(const WireBundle& bundle, const std::string& base);
+
+  /// Records the current value of every watched wire at time \p cycle.
+  /// Called by Simulation::step via attach_vcd; may also be called manually.
+  void sample(std::uint64_t cycle);
+
+  /// Number of watched wires.
+  [[nodiscard]] std::size_t watched() const noexcept { return wires_.size(); }
+
+ private:
+  void emit_header();
+  static std::string id_code(std::size_t index);
+
+  struct Entry {
+    const Wire* wire;
+    std::string name;
+    Logic4 last = Logic4::X;
+    bool dumped = false;
+  };
+
+  std::ostream& os_;
+  std::vector<Entry> wires_;
+  bool header_done_ = false;
+};
+
+}  // namespace casbus::sim

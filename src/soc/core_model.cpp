@@ -1,0 +1,71 @@
+#include "soc/core_model.hpp"
+
+#include <sstream>
+
+namespace casbus::soc {
+
+namespace {
+Logic4 as_logic(const sim::Wire* w) {
+  // Core models are 2-valued internally at their boundary: Z/X read as X
+  // and are clamped by the gate simulator's own semantics.
+  return w == nullptr ? Logic4::X : w->get();
+}
+}  // namespace
+
+NetlistCore::NetlistCore(sim::Simulation& sim_ctx, std::string name,
+                         tpg::SyntheticCore core)
+    : CoreModel(std::move(name)),
+      core_(std::move(core)),
+      sim_(core_.netlist) {
+  const auto& spec = core_.spec;
+  for (std::size_t i = 0; i < spec.n_inputs; ++i) {
+    std::ostringstream os;
+    os << this->name() << ".fin" << i;
+    term_.func_in.push_back(&sim_ctx.wire(os.str(), Logic4::Zero));
+  }
+  for (std::size_t i = 0; i < spec.n_outputs; ++i) {
+    std::ostringstream os;
+    os << this->name() << ".fout" << i;
+    term_.func_out.push_back(&sim_ctx.wire(os.str(), Logic4::Zero));
+  }
+  term_.scan_en = &sim_ctx.wire(this->name() + ".scan_en", Logic4::Zero);
+  term_.core_clk_en =
+      &sim_ctx.wire(this->name() + ".clk_en", Logic4::One);
+  for (std::size_t c = 0; c < spec.n_chains; ++c) {
+    std::ostringstream osi, oso;
+    osi << this->name() << ".si" << c;
+    oso << this->name() << ".so" << c;
+    term_.scan_in.push_back(&sim_ctx.wire(osi.str(), Logic4::Zero));
+    term_.scan_out.push_back(&sim_ctx.wire(oso.str(), Logic4::Zero));
+    term_.chain_lengths.push_back(core_.chains[c].size());
+  }
+  sim_.reset();
+}
+
+void NetlistCore::evaluate() {
+  const auto& spec = core_.spec;
+  for (std::size_t i = 0; i < spec.n_inputs; ++i) {
+    const Logic4 v = as_logic(term_.func_in[i]);
+    sim_.set_input("pi" + std::to_string(i), is01(v) ? v : Logic4::Zero);
+  }
+  const Logic4 se = as_logic(term_.scan_en);
+  sim_.set_input("scan_en", is01(se) ? se : Logic4::Zero);
+  for (std::size_t c = 0; c < spec.n_chains; ++c) {
+    const Logic4 v = as_logic(term_.scan_in[c]);
+    sim_.set_input("si" + std::to_string(c), is01(v) ? v : Logic4::Zero);
+  }
+  sim_.eval();
+  for (std::size_t i = 0; i < spec.n_outputs; ++i)
+    term_.func_out[i]->set(sim_.output("po" + std::to_string(i)));
+  for (std::size_t c = 0; c < spec.n_chains; ++c)
+    term_.scan_out[c]->set(sim_.output("so" + std::to_string(c)));
+}
+
+void NetlistCore::tick() {
+  if (term_.core_clk_en->get() != Logic4::One) return;  // gated clock
+  sim_.tick();
+}
+
+void NetlistCore::reset() { sim_.reset(); }
+
+}  // namespace casbus::soc

@@ -1,0 +1,74 @@
+/// \file core_model.hpp
+/// Behavioral models of embedded IP cores, as seen from their wrapper.
+
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "netlist/gatesim.hpp"
+#include "sim/module.hpp"
+#include "sim/simulation.hpp"
+#include "tpg/synthcore.hpp"
+
+namespace casbus::soc {
+
+/// Core-side terminal wires every core model exposes; the wrapper connects
+/// to exactly these (see p1500::CoreTestPorts / FunctionalPorts).
+struct CoreTerminals {
+  std::vector<sim::Wire*> func_in;   ///< functional inputs (wrapper drives)
+  std::vector<sim::Wire*> func_out;  ///< functional outputs (wrapper reads)
+  sim::Wire* scan_en = nullptr;
+  sim::Wire* core_clk_en = nullptr;
+  std::vector<sim::Wire*> scan_in;
+  std::vector<sim::Wire*> scan_out;
+  std::vector<std::size_t> chain_lengths;
+  sim::Wire* bist_start = nullptr;
+  sim::Wire* bist_done = nullptr;
+  sim::Wire* bist_pass = nullptr;
+};
+
+/// Base class of all core models.
+class CoreModel : public sim::Module {
+ public:
+  using sim::Module::Module;
+  [[nodiscard]] const CoreTerminals& terminals() const noexcept {
+    return term_;
+  }
+  [[nodiscard]] CoreTerminals& terminals() noexcept { return term_; }
+
+ protected:
+  CoreTerminals term_;
+};
+
+/// Gate-level core: a tpg::SyntheticCore simulated cycle-accurately through
+/// its own GateSim, with mux-D scan chains and a gated clock. This is the
+/// model behind scannable cores (paper Fig. 2a) and externally-tested cores
+/// (Fig. 2c — same core, different pattern source).
+class NetlistCore : public CoreModel {
+ public:
+  /// Creates terminal wires inside \p sim_ctx (named `<name>.<port>`)
+  /// and registers nothing — the caller adds the module to the simulation.
+  NetlistCore(sim::Simulation& sim_ctx, std::string name,
+              tpg::SyntheticCore core);
+
+  void evaluate() override;
+  void tick() override;
+  void reset() override;
+
+  /// The generated core description (chains, spec).
+  [[nodiscard]] const tpg::SyntheticCore& synth() const noexcept {
+    return core_;
+  }
+
+  /// Embedded simulator — exposed for fault injection in experiments
+  /// (tpg faults map 1:1 onto this netlist's nets).
+  [[nodiscard]] netlist::GateSim& gatesim() noexcept { return sim_; }
+
+ private:
+  tpg::SyntheticCore core_;
+  netlist::GateSim sim_;
+};
+
+}  // namespace casbus::soc

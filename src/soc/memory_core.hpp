@@ -1,0 +1,88 @@
+/// \file memory_core.hpp
+/// Embedded SRAM with functional port and MARCH C- memory BIST.
+///
+/// Motivated directly by the paper's maintenance-test claim (§4): "it is
+/// possible to test some embedded cores while others are in normal
+/// functioning mode. This is very useful when, e.g., an embedded memory
+/// test is periodically required."
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "soc/core_model.hpp"
+
+namespace casbus::soc {
+
+/// Behavioral single-port SRAM core.
+///
+/// Functional port (synchronous, one operation per cycle when the core
+/// clock is enabled and MBIST idle):
+///   func_in  = [we, addr[0..A), wdata[0..D)]
+///   func_out = [rdata[0..D)]
+/// A write stores wdata at addr; every cycle rdata presents mem[addr]
+/// (write-through on write cycles).
+///
+/// MBIST: a MARCH C- engine — ⇑(w0) ⇑(r0,w1) ⇑(r1,w0) ⇓(r0,w1) ⇓(r1,w0)
+/// ⇓(r0) — launched by bist_start, one memory operation per cycle
+/// (10 * words cycles total), verdict on bist_pass. The march destroys
+/// memory contents, as real MBIST does.
+class MemoryCore : public CoreModel {
+ public:
+  MemoryCore(sim::Simulation& sim_ctx, std::string name, std::size_t words,
+             unsigned data_bits);
+
+  void evaluate() override;
+  void tick() override;
+  void reset() override;
+
+  [[nodiscard]] std::size_t words() const noexcept { return mem_.size(); }
+  [[nodiscard]] unsigned data_bits() const noexcept { return data_bits_; }
+  [[nodiscard]] unsigned addr_bits() const noexcept { return addr_bits_; }
+
+  /// Total MBIST session length in cycles (6-element MARCH C-).
+  [[nodiscard]] std::uint64_t mbist_cycles() const noexcept {
+    return 10 * static_cast<std::uint64_t>(mem_.size());
+  }
+
+  /// Forces bit \p bit of word \p addr to a stuck value; the next MARCH
+  /// pass must catch it.
+  void inject_stuck_bit(std::size_t addr, unsigned bit, bool stuck_one);
+  void clear_faults() { faults_.clear(); }
+
+  /// Backdoor read for checkers (does not consume a cycle).
+  [[nodiscard]] std::uint64_t peek(std::size_t addr) const {
+    return mem_.at(addr);
+  }
+
+ private:
+  struct StuckBit {
+    std::size_t addr;
+    unsigned bit;
+    bool stuck_one;
+  };
+
+  [[nodiscard]] std::uint64_t apply_faults(std::size_t addr,
+                                           std::uint64_t v) const;
+  void write(std::size_t addr, std::uint64_t v);
+  [[nodiscard]] std::uint64_t read(std::size_t addr) const;
+  void mbist_step();
+
+  unsigned data_bits_;
+  unsigned addr_bits_;
+  std::uint64_t data_mask_;
+  std::vector<std::uint64_t> mem_;
+  std::vector<StuckBit> faults_;
+
+  // MBIST engine.
+  bool running_ = false;
+  bool done_ = false;
+  bool pass_ = false;
+  bool start_seen_ = false;
+  unsigned element_ = 0;    // which march element
+  std::size_t index_ = 0;   // position within the element
+  std::uint64_t rdata_reg_ = 0;
+};
+
+}  // namespace casbus::soc

@@ -1,0 +1,71 @@
+/// \file traffic.hpp
+/// Functional traffic for the maintenance-test experiments (paper §4):
+/// a generator/checker that exercises a memory core's functional port
+/// through its wrapper while other cores are under test.
+
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "sim/module.hpp"
+#include "sim/simulation.hpp"
+#include "soc/soc.hpp"
+#include "util/rng.hpp"
+
+namespace casbus::soc {
+
+/// Drives pseudo-random writes and read-back checks into the *system side*
+/// of a wrapped MemoryCore. While the wrapper is functional (Bypass), every
+/// read must return the mirrored value; during a maintenance session the
+/// generator is paused by the test program, mirroring how an SoC would
+/// fence traffic off a memory under MBIST.
+class MemoryTraffic : public sim::Module {
+ public:
+  /// \p core must be a CoreKind::Memory instance of \p soc.
+  MemoryTraffic(Soc& soc, std::size_t core_index, std::uint64_t seed);
+
+  void evaluate() override;
+  void tick() override;
+  void reset() override;
+
+  /// Pauses/resumes the generator (paused drives no operations).
+  void set_enabled(bool on) noexcept { enabled_ = on; }
+  [[nodiscard]] bool enabled() const noexcept { return enabled_; }
+
+  /// Invalidate the mirror (call after MBIST destroyed the contents).
+  void forget_mirror() { mirror_.clear(); }
+
+  [[nodiscard]] std::uint64_t operations() const noexcept { return ops_; }
+  [[nodiscard]] std::uint64_t reads_checked() const noexcept {
+    return checked_;
+  }
+  [[nodiscard]] std::uint64_t mismatches() const noexcept {
+    return mismatches_;
+  }
+
+ private:
+  CoreInstance& inst_;
+  unsigned addr_bits_;
+  unsigned data_bits_;
+  std::size_t words_;
+  Rng rng_;
+  bool enabled_ = false;
+
+  // Current operation, driven onto wires by evaluate().
+  bool op_we_ = false;
+  std::size_t op_addr_ = 0;
+  std::uint64_t op_wdata_ = 0;
+  bool op_valid_ = false;
+
+  // Pending read pipeline: 2 = just issued, 1 = data valid next tick.
+  int pending_stage_ = 0;
+  std::size_t pending_addr_ = 0;
+
+  std::unordered_map<std::size_t, std::uint64_t> mirror_;
+  std::uint64_t ops_ = 0;
+  std::uint64_t checked_ = 0;
+  std::uint64_t mismatches_ = 0;
+};
+
+}  // namespace casbus::soc

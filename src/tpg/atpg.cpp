@@ -1,0 +1,47 @@
+#include "tpg/atpg.hpp"
+
+#include "util/rng.hpp"
+
+namespace casbus::tpg {
+
+AtpgResult generate_patterns(const netlist::Netlist& nl,
+                             const AtpgOptions& options) {
+  FaultSimulator fsim(nl);
+  for (const auto& [name, value] : options.pinned_inputs)
+    fsim.pin_input(name, value);
+
+  const std::vector<Fault> faults = enumerate_faults(nl);
+  std::vector<bool> detected(faults.size(), false);
+
+  AtpgResult result;
+  result.total_faults = faults.size();
+  result.patterns = PatternSet(fsim.pattern_width());
+
+  Rng rng(options.seed);
+  const std::size_t width = fsim.pattern_width();
+
+  for (std::size_t cand = 0; cand < options.max_candidates; ++cand) {
+    if (result.patterns.size() >= options.max_patterns) break;
+    if (result.coverage() >= options.target_coverage) break;
+
+    BitVector pattern(width);
+    for (std::size_t b = 0; b < width; ++b) pattern.set(b, rng.coin());
+    ++result.candidates_tried;
+
+    std::size_t newly = 0;
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if (detected[f]) continue;
+      if (fsim.detects(pattern, faults[f])) {
+        detected[f] = true;
+        ++newly;
+      }
+    }
+    if (newly > 0) {
+      result.patterns.add(std::move(pattern));
+      result.detected += newly;
+    }
+  }
+  return result;
+}
+
+}  // namespace casbus::tpg

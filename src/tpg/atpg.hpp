@@ -1,0 +1,49 @@
+/// \file atpg.hpp
+/// Random-search test pattern generation with fault dropping.
+///
+/// Not a full PODEM/FAN implementation — the reproduction needs compact,
+/// realistic scan pattern sets with known coverage, which random ATPG with
+/// greedy pattern selection provides for circuits of the sizes used here.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "netlist/netlist.hpp"
+#include "tpg/fault.hpp"
+#include "tpg/patterns.hpp"
+
+namespace casbus::tpg {
+
+/// Knobs for generate_patterns().
+struct AtpgOptions {
+  std::size_t max_patterns = 256;      ///< stop after keeping this many
+  std::size_t max_candidates = 4096;   ///< random candidates to try
+  double target_coverage = 0.95;       ///< stop once reached
+  std::uint64_t seed = 1;              ///< pattern RNG seed
+  std::vector<std::pair<std::string, bool>> pinned_inputs;  ///< held inputs
+};
+
+/// Outcome of pattern generation.
+struct AtpgResult {
+  PatternSet patterns;        ///< kept patterns (each detects >= 1 new fault)
+  std::size_t total_faults = 0;
+  std::size_t detected = 0;
+  std::size_t candidates_tried = 0;
+
+  [[nodiscard]] double coverage() const {
+    return total_faults == 0
+               ? 1.0
+               : static_cast<double>(detected) /
+                     static_cast<double>(total_faults);
+  }
+};
+
+/// Generates a compact pattern set for the stuck-at universe of \p nl.
+/// Random candidates that detect at least one currently undetected fault are
+/// kept; others are discarded (fault dropping keeps the loop fast).
+AtpgResult generate_patterns(const netlist::Netlist& nl,
+                             const AtpgOptions& options = {});
+
+}  // namespace casbus::tpg

@@ -1,0 +1,128 @@
+#include "tpg/fault.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace casbus::tpg {
+
+using netlist::Cell;
+using netlist::CellId;
+using netlist::CellKind;
+using netlist::NetId;
+using netlist::Netlist;
+
+std::vector<Fault> enumerate_faults(const Netlist& nl) {
+  std::vector<bool> constant(nl.net_count(), false);
+  for (const Cell& c : nl.cells())
+    if (c.kind == CellKind::Const0 || c.kind == CellKind::Const1)
+      constant[c.out] = true;
+
+  std::vector<Fault> faults;
+  faults.reserve(nl.net_count() * 2);
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    if (constant[n]) continue;
+    faults.push_back(Fault{n, false});
+    faults.push_back(Fault{n, true});
+  }
+  return faults;
+}
+
+FaultSimulator::FaultSimulator(Netlist nl) : sim_(std::move(nl)) {
+  const Netlist& design = sim_.design();
+  for (std::size_t i = 0; i < design.inputs().size(); ++i)
+    free_inputs_.push_back(i);
+  for (CellId id = 0; id < design.cell_count(); ++id)
+    if (netlist::is_sequential(design.cell(id).kind)) dffs_.push_back(id);
+}
+
+void FaultSimulator::pin_input(const std::string& name, bool value) {
+  for (std::size_t i = 0; i < nl().inputs().size(); ++i) {
+    if (nl().inputs()[i].name != name) continue;
+    pinned_.emplace_back(i, value);
+    free_inputs_.erase(
+        std::remove(free_inputs_.begin(), free_inputs_.end(), i),
+        free_inputs_.end());
+    return;
+  }
+  CASBUS_REQUIRE(false, "pin_input: unknown input " + name);
+}
+
+std::size_t FaultSimulator::pattern_width() const noexcept {
+  return free_inputs_.size() + dffs_.size();
+}
+
+std::size_t FaultSimulator::response_width() const noexcept {
+  return nl().outputs().size() + dffs_.size();
+}
+
+std::vector<int> FaultSimulator::simulate(const BitVector& pattern,
+                                          const Fault* fault) {
+  CASBUS_REQUIRE(pattern.size() == pattern_width(),
+                 "FaultSimulator: pattern width mismatch");
+  sim_.clear_forces();
+  if (fault != nullptr)
+    sim_.set_force(fault->net, to_logic(fault->stuck_one));
+
+  for (const auto& [idx, val] : pinned_)
+    sim_.set_input_index(idx, to_logic(val));
+  for (std::size_t i = 0; i < free_inputs_.size(); ++i)
+    sim_.set_input_index(free_inputs_[i], to_logic(pattern.get(i)));
+  for (std::size_t i = 0; i < dffs_.size(); ++i)
+    sim_.set_dff_state(i, to_logic(pattern.get(free_inputs_.size() + i)));
+
+  sim_.eval();
+
+  std::vector<int> response;
+  response.reserve(response_width());
+  const auto push = [&](Logic4 v) {
+    response.push_back(v == Logic4::Zero ? 0 : v == Logic4::One ? 1 : -1);
+  };
+  for (std::size_t i = 0; i < nl().outputs().size(); ++i)
+    push(sim_.output_index(i));
+  // Flip-flop next-states: the D pin values after settling.
+  for (const CellId id : dffs_) push(sim_.net_value(nl().cell(id).in[0]));
+  return response;
+}
+
+BitVector FaultSimulator::good_response(const BitVector& pattern) {
+  const std::vector<int> r = simulate(pattern, nullptr);
+  BitVector out(r.size());
+  for (std::size_t i = 0; i < r.size(); ++i) out.set(i, r[i] == 1);
+  return out;
+}
+
+bool FaultSimulator::detects(const BitVector& pattern, const Fault& fault) {
+  const std::vector<int> good = simulate(pattern, nullptr);
+  const std::vector<int> bad = simulate(pattern, &fault);
+  for (std::size_t i = 0; i < good.size(); ++i)
+    if (good[i] >= 0 && bad[i] >= 0 && good[i] != bad[i]) return true;
+  return false;
+}
+
+FaultSimReport FaultSimulator::run(const PatternSet& patterns,
+                                   const std::vector<Fault>& faults) {
+  FaultSimReport report;
+  report.total_faults = faults.size();
+  report.detected_mask.assign(faults.size(), false);
+  report.per_pattern.assign(patterns.size(), 0);
+
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    const BitVector& pat = patterns.at(p);
+    const std::vector<int> good = simulate(pat, nullptr);
+    for (std::size_t f = 0; f < faults.size(); ++f) {
+      if (report.detected_mask[f]) continue;  // fault dropping
+      const std::vector<int> bad = simulate(pat, &faults[f]);
+      for (std::size_t i = 0; i < good.size(); ++i) {
+        if (good[i] >= 0 && bad[i] >= 0 && good[i] != bad[i]) {
+          report.detected_mask[f] = true;
+          ++report.detected;
+          ++report.per_pattern[p];
+          break;
+        }
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace casbus::tpg

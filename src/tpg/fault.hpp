@@ -1,0 +1,96 @@
+/// \file fault.hpp
+/// Single stuck-at fault model over gate-level netlists.
+///
+/// The paper motivates the TAM by "the high fault coverage required before
+/// signing off a design to manufacturing" (§1); the examples and benches use
+/// this module to measure real stuck-at coverage of patterns delivered over
+/// the CAS-BUS.
+
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "netlist/gatesim.hpp"
+#include "netlist/netlist.hpp"
+#include "tpg/patterns.hpp"
+#include "util/bitvector.hpp"
+
+namespace casbus::tpg {
+
+/// One single stuck-at fault: \p net permanently at \p stuck_one.
+struct Fault {
+  netlist::NetId net = netlist::kNoNet;
+  bool stuck_one = false;
+
+  friend bool operator==(const Fault&, const Fault&) = default;
+};
+
+/// Enumerates the stuck-at-0/1 fault universe of \p nl: two faults per net,
+/// excluding nets driven by constant cells (untestable by construction).
+std::vector<Fault> enumerate_faults(const netlist::Netlist& nl);
+
+/// Result of fault-simulating a pattern set.
+struct FaultSimReport {
+  std::size_t total_faults = 0;
+  std::size_t detected = 0;
+  std::vector<bool> detected_mask;          ///< per fault, same order as list
+  std::vector<std::size_t> per_pattern;     ///< new detections per pattern
+
+  [[nodiscard]] double coverage() const {
+    return total_faults == 0
+               ? 1.0
+               : static_cast<double>(detected) /
+                     static_cast<double>(total_faults);
+  }
+};
+
+/// Serial single-stuck-at fault simulator assuming full scan: every DFF is
+/// directly controllable/observable, so one "pattern" assigns all primary
+/// inputs plus all flip-flop states, and the "response" is all primary
+/// outputs plus all flip-flop next-states.
+///
+/// Inputs that must stay fixed during test (e.g. a scan-enable that routes
+/// functional data, held at 0 while faults are graded) are pinned via
+/// pin_input().
+class FaultSimulator {
+ public:
+  /// Takes its own copy of the design (move in to avoid the copy).
+  explicit FaultSimulator(netlist::Netlist nl);
+
+  /// Holds input \p name at \p value for every simulation; that input is
+  /// removed from the pattern image.
+  void pin_input(const std::string& name, bool value);
+
+  /// Bits a pattern must supply: free primary inputs + flip-flops.
+  [[nodiscard]] std::size_t pattern_width() const noexcept;
+
+  /// Bits in a response: primary outputs + flip-flop next-states.
+  [[nodiscard]] std::size_t response_width() const noexcept;
+
+  /// Fault-free response to \p pattern.
+  [[nodiscard]] BitVector good_response(const BitVector& pattern);
+
+  /// True when \p pattern definitely detects \p fault (good and faulty
+  /// responses are both driven and differ in at least one bit).
+  [[nodiscard]] bool detects(const BitVector& pattern, const Fault& fault);
+
+  /// Simulates \p patterns against \p faults with fault dropping.
+  FaultSimReport run(const PatternSet& patterns,
+                     const std::vector<Fault>& faults);
+
+ private:
+  /// Applies pattern, evals, returns response values (may contain X as -1).
+  std::vector<int> simulate(const BitVector& pattern, const Fault* fault);
+
+  /// The simulated design (owned by the embedded simulator).
+  [[nodiscard]] const netlist::Netlist& nl() const { return sim_.design(); }
+
+  netlist::GateSim sim_;
+  std::vector<std::size_t> free_inputs_;  // indices into nl.inputs()
+  std::vector<std::pair<std::size_t, bool>> pinned_;
+  std::vector<netlist::CellId> dffs_;
+};
+
+}  // namespace casbus::tpg

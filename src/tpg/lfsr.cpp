@@ -1,0 +1,81 @@
+#include "tpg/lfsr.hpp"
+
+#include <bit>
+
+namespace casbus::tpg {
+
+std::uint32_t primitive_taps(unsigned width) {
+  // Primitive polynomials x^n + x^a + (x^b + x^c) + 1 from the classical
+  // maximal-length table (Xilinx XAPP052). In this implementation the
+  // recurrence is y[t+n] = XOR_{i in taps} y[t+i], so the tap mask holds
+  // the exponents of the polynomial *below* n — including bit 0 for the
+  // mandatory constant term.
+  static constexpr struct {
+    unsigned width;
+    std::uint8_t a, b, c;  // secondary exponents; 0 = unused (besides x^0)
+  } kTable[] = {
+      {2, 1, 0, 0},   {3, 2, 0, 0},   {4, 3, 0, 0},   {5, 3, 0, 0},
+      {6, 5, 0, 0},   {7, 6, 0, 0},   {8, 6, 5, 4},   {9, 5, 0, 0},
+      {10, 7, 0, 0},  {11, 9, 0, 0},  {12, 6, 4, 1},  {13, 4, 3, 1},
+      {14, 5, 3, 1},  {15, 14, 0, 0}, {16, 15, 13, 4}, {17, 14, 0, 0},
+      {18, 11, 0, 0}, {19, 6, 2, 1},  {20, 17, 0, 0}, {21, 19, 0, 0},
+      {22, 21, 0, 0}, {23, 18, 0, 0}, {24, 23, 22, 17}, {25, 22, 0, 0},
+      {26, 6, 2, 1},  {27, 5, 2, 1},  {28, 25, 0, 0}, {29, 27, 0, 0},
+      {30, 6, 4, 1},  {31, 28, 0, 0}, {32, 22, 2, 1},
+  };
+  for (const auto& row : kTable) {
+    if (row.width != width) continue;
+    std::uint32_t mask = 1u;  // constant term x^0
+    mask |= 1u << row.a;
+    if (row.b != 0) mask |= 1u << row.b;
+    if (row.c != 0) mask |= 1u << row.c;
+    return mask;
+  }
+  CASBUS_REQUIRE(false, "primitive_taps: width must be in [2, 32]");
+  return 0;
+}
+
+Lfsr::Lfsr(unsigned width, std::uint32_t taps, std::uint32_t seed)
+    : width_(width), taps_(taps) {
+  CASBUS_REQUIRE(width >= 2 && width <= 32, "Lfsr width must be in [2, 32]");
+  mask_ = width == 32 ? ~0u : ((1u << width) - 1);
+  taps_ &= mask_;
+  CASBUS_REQUIRE(taps_ != 0, "Lfsr taps must be non-zero");
+  state_ = seed & mask_;
+  CASBUS_REQUIRE(state_ != 0, "Lfsr seed must be non-zero");
+}
+
+Lfsr Lfsr::standard(unsigned width, std::uint32_t seed) {
+  return Lfsr(width, primitive_taps(width), seed);
+}
+
+bool Lfsr::step() {
+  const bool out = (state_ & 1u) != 0;
+  const auto fb =
+      static_cast<std::uint32_t>(std::popcount(state_ & taps_) & 1);
+  state_ = (state_ >> 1) | (fb << (width_ - 1));
+  return out;
+}
+
+std::uint32_t Lfsr::step_word() {
+  step();
+  return state_;
+}
+
+Misr::Misr(unsigned width, std::uint32_t taps) : width_(width), taps_(taps) {
+  CASBUS_REQUIRE(width >= 1 && width <= 32, "Misr width must be in [1, 32]");
+  mask_ = width == 32 ? ~0u : ((1u << width) - 1);
+  if (taps_ == 0) taps_ = width >= 2 ? primitive_taps(width) : 1u;
+  taps_ &= mask_;
+}
+
+void Misr::feed_word(std::uint32_t word) {
+  // Polynomial-division (Galois) form: the bit shifted out of the top
+  // folds back through the feedback polynomial. Any single response-bit
+  // error then evolves as x^k mod p(x), which is never zero for a
+  // non-trivial p — so single-bit errors cannot alias.
+  const std::uint32_t msb = (state_ >> (width_ - 1)) & 1u;
+  state_ = (((state_ << 1) ^ (msb != 0 ? taps_ : 0u)) ^ word) & mask_;
+}
+
+}  // namespace casbus::tpg

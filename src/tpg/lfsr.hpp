@@ -1,0 +1,84 @@
+/// \file lfsr.hpp
+/// Linear-feedback shift registers: the pseudo-random pattern sources used
+/// by BIST engines and by the paper's external test configuration
+/// (Fig. 2c: "the source is a simple LFSR and the sink a simple MISR").
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bitvector.hpp"
+#include "util/error.hpp"
+
+namespace casbus::tpg {
+
+/// Returns a primitive feedback polynomial (tap mask) for an LFSR of
+/// \p width bits, 2 <= width <= 32. Bit i set means stage i feeds back.
+/// The polynomials are the classical maximal-length ones, so the LFSR
+/// cycles through 2^width − 1 states.
+std::uint32_t primitive_taps(unsigned width);
+
+/// Fibonacci-style LFSR with configurable taps.
+class Lfsr {
+ public:
+  /// Seeds must be non-zero (the all-zero state is a fixed point).
+  Lfsr(unsigned width, std::uint32_t taps, std::uint32_t seed = 1);
+
+  /// Constructs with the standard primitive polynomial for \p width.
+  static Lfsr standard(unsigned width, std::uint32_t seed = 1);
+
+  /// Advances one step and returns the output bit (stage 0 before the step).
+  bool step();
+
+  /// Advances one step and returns the full state word.
+  std::uint32_t step_word();
+
+  /// Current state.
+  [[nodiscard]] std::uint32_t state() const noexcept { return state_; }
+
+  /// Register width in bits.
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
+
+  /// Period of a maximal-length LFSR of this width (2^width − 1).
+  [[nodiscard]] std::uint64_t max_period() const noexcept {
+    return (1ULL << width_) - 1;
+  }
+
+ private:
+  unsigned width_;
+  std::uint32_t taps_;
+  std::uint32_t mask_;
+  std::uint32_t state_;
+};
+
+/// Multiple-input signature register (MISR): compacts one response word per
+/// cycle into a signature, as the paper's external sink (Fig. 2c) and BIST
+/// sinks do.
+class Misr {
+ public:
+  /// \p width response bits compacted per cycle.
+  explicit Misr(unsigned width, std::uint32_t taps = 0);
+
+  /// Compacts one response word (low \p width() bits of \p word).
+  void feed_word(std::uint32_t word);
+
+  /// Compacts a single-bit response (width-1 convenience).
+  void feed(bool bit) { feed_word(bit ? 1u : 0u); }
+
+  /// Current signature.
+  [[nodiscard]] std::uint32_t signature() const noexcept { return state_; }
+
+  /// Resets the signature to zero.
+  void reset() noexcept { state_ = 0; }
+
+  [[nodiscard]] unsigned width() const noexcept { return width_; }
+
+ private:
+  unsigned width_;
+  std::uint32_t taps_;
+  std::uint32_t mask_;
+  std::uint32_t state_ = 0;
+};
+
+}  // namespace casbus::tpg

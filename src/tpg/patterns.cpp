@@ -1,0 +1,50 @@
+#include "tpg/patterns.hpp"
+
+namespace casbus::tpg {
+
+void PatternSet::add(BitVector p) {
+  if (pats_.empty() && width_ == 0) width_ = p.size();
+  CASBUS_REQUIRE(p.size() == width_, "PatternSet::add width mismatch");
+  pats_.push_back(std::move(p));
+}
+
+PatternSet PatternSet::random(std::size_t width, std::size_t count,
+                              Rng& rng) {
+  PatternSet ps(width);
+  for (std::size_t i = 0; i < count; ++i) {
+    BitVector p(width);
+    for (std::size_t b = 0; b < width; ++b) p.set(b, rng.coin());
+    ps.add(std::move(p));
+  }
+  return ps;
+}
+
+PatternSet PatternSet::walking(std::size_t width) {
+  PatternSet ps(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    BitVector p(width, false);
+    p.set(i, true);
+    ps.add(std::move(p));
+  }
+  for (std::size_t i = 0; i < width; ++i) {
+    BitVector p(width, true);
+    p.set(i, false);
+    ps.add(std::move(p));
+  }
+  return ps;
+}
+
+PatternSet PatternSet::counting(std::size_t width, std::size_t count) {
+  CASBUS_REQUIRE(width <= 64, "counting patterns limited to 64 bits");
+  PatternSet ps(width);
+  for (std::size_t v = 0; v < count; ++v)
+    ps.add(BitVector::from_uint(v, width));
+  return ps;
+}
+
+PatternSet PatternSet::exhaustive(std::size_t width) {
+  CASBUS_REQUIRE(width <= 20, "exhaustive patterns limited to 20 inputs");
+  return counting(width, std::size_t{1} << width);
+}
+
+}  // namespace casbus::tpg

@@ -1,0 +1,58 @@
+/// \file patterns.hpp
+/// Deterministic and pseudo-random test pattern sets.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "util/bitvector.hpp"
+#include "util/rng.hpp"
+
+namespace casbus::tpg {
+
+/// An ordered set of equal-width stimulus vectors.
+class PatternSet {
+ public:
+  PatternSet() = default;
+  explicit PatternSet(std::size_t width) : width_(width) {}
+
+  /// Bits per pattern.
+  [[nodiscard]] std::size_t width() const noexcept { return width_; }
+
+  /// Number of patterns.
+  [[nodiscard]] std::size_t size() const noexcept { return pats_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return pats_.empty(); }
+
+  [[nodiscard]] const BitVector& at(std::size_t i) const {
+    return pats_.at(i);
+  }
+
+  /// Appends a pattern; must match width().
+  void add(BitVector p);
+
+  /// \name Generators
+  /// @{
+
+  /// \p count uniformly random patterns from \p rng.
+  static PatternSet random(std::size_t width, std::size_t count, Rng& rng);
+
+  /// Walking-one followed by walking-zero patterns (2 * width patterns).
+  static PatternSet walking(std::size_t width);
+
+  /// Binary counting patterns [0, count).
+  static PatternSet counting(std::size_t width, std::size_t count);
+
+  /// Exhaustive patterns (2^width, width <= 20 guard).
+  static PatternSet exhaustive(std::size_t width);
+  /// @}
+
+  [[nodiscard]] auto begin() const { return pats_.begin(); }
+  [[nodiscard]] auto end() const { return pats_.end(); }
+
+ private:
+  std::size_t width_ = 0;
+  std::vector<BitVector> pats_;
+};
+
+}  // namespace casbus::tpg

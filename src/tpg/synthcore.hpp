@@ -1,0 +1,49 @@
+/// \file synthcore.hpp
+/// Seeded synthetic IP core generation.
+///
+/// The paper's SoCs embed commercial IP cores we do not have; the TAM only
+/// ever observes a core through its wrapper test terminals, so a seeded
+/// random netlist with scan-stitched flip-flops exercises exactly the same
+/// interface (DESIGN.md §6 records this substitution). Generated cores have:
+///   - functional primary inputs/outputs,
+///   - a random combinational cloud,
+///   - flip-flops stitched into `n_chains` balanced scan chains behind a
+///     scan_en / si[c] / so[c] interface (mux-D full scan).
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace casbus::tpg {
+
+/// Parameters of a generated core.
+struct SyntheticCoreSpec {
+  std::size_t n_inputs = 8;    ///< functional primary inputs
+  std::size_t n_outputs = 8;   ///< functional primary outputs
+  std::size_t n_flipflops = 16;///< scannable state bits
+  std::size_t n_gates = 64;    ///< combinational cells in the cloud
+  std::size_t n_chains = 1;    ///< scan chains (<= n_flipflops)
+  std::uint64_t seed = 1;      ///< generator seed
+};
+
+/// A generated core: netlist plus its scan topology.
+struct SyntheticCore {
+  netlist::Netlist netlist;
+  SyntheticCoreSpec spec;
+  /// chains[c] lists flip-flop indices (GateSim DFF order) from scan-in to
+  /// scan-out of chain c.
+  std::vector<std::vector<std::size_t>> chains;
+
+  /// Length of the longest scan chain.
+  [[nodiscard]] std::size_t max_chain_length() const;
+};
+
+/// Input naming used by generated cores (stable public contract):
+/// functional inputs "pi<i>", scan enable "scan_en", scan inputs "si<c>";
+/// outputs "po<i>" and "so<c>".
+SyntheticCore make_synthetic_core(const SyntheticCoreSpec& spec);
+
+}  // namespace casbus::tpg

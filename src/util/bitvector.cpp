@@ -1,0 +1,72 @@
+#include "util/bitvector.hpp"
+
+#include <bit>
+#include <ostream>
+
+namespace casbus {
+
+BitVector BitVector::from_string(std::string_view s) {
+  BitVector bv;
+  for (char c : s) {
+    if (c == '0')
+      bv.push_back(false);
+    else if (c == '1')
+      bv.push_back(true);
+    else if (c == '_' || c == ' ')
+      continue;
+    else
+      CASBUS_REQUIRE(false, "BitVector::from_string: invalid character");
+  }
+  return bv;
+}
+
+BitVector BitVector::from_uint(std::uint64_t value, std::size_t bits) {
+  CASBUS_REQUIRE(bits <= 64, "BitVector::from_uint supports at most 64 bits");
+  BitVector bv(bits);
+  for (std::size_t i = 0; i < bits; ++i) bv.set(i, (value >> i) & 1ULL);
+  return bv;
+}
+
+bool BitVector::shift_in(bool in) {
+  if (size_ == 0) return in;
+  const bool out = get(size_ - 1);
+  bool carry = in;
+  for (auto& w : words_) {
+    const bool next_carry = (w >> 63) & 1ULL;
+    w = (w << 1) | (carry ? 1ULL : 0ULL);
+    carry = next_carry;
+  }
+  trim();
+  return out;
+}
+
+std::uint64_t BitVector::to_uint() const {
+  if (words_.empty()) return 0;
+  if (size_ >= 64) return words_[0];
+  return words_[0] & ((1ULL << size_) - 1);
+}
+
+std::string BitVector::to_string() const {
+  std::string s;
+  s.reserve(size_);
+  for (std::size_t i = 0; i < size_; ++i) s.push_back(get(i) ? '1' : '0');
+  return s;
+}
+
+std::size_t BitVector::popcount() const noexcept {
+  std::size_t n = 0;
+  for (auto w : words_) n += static_cast<std::size_t>(std::popcount(w));
+  return n;
+}
+
+BitVector& BitVector::operator^=(const BitVector& rhs) {
+  CASBUS_REQUIRE(size_ == rhs.size_, "BitVector::operator^= size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= rhs.words_[i];
+  return *this;
+}
+
+std::ostream& operator<<(std::ostream& os, const BitVector& bv) {
+  return os << bv.to_string();
+}
+
+}  // namespace casbus

@@ -1,0 +1,81 @@
+/// \file error.hpp
+/// Error handling primitives shared by every casbus module.
+///
+/// The library reports contract violations and invalid user input with
+/// exceptions derived from casbus::Error (C++ Core Guidelines E.2: throw an
+/// exception to signal that a function can't perform its assigned task).
+/// Internal invariants use CASBUS_ASSERT, which is compiled in all build
+/// types: a test-access-mechanism library is exactly the kind of code whose
+/// silent corruption is worse than a crash.
+
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+namespace casbus {
+
+/// Base class of all exceptions thrown by the casbus library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a caller violates a documented precondition.
+class PreconditionError : public Error {
+ public:
+  explicit PreconditionError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when an internal invariant fails (library bug, not user error).
+class InvariantError : public Error {
+ public:
+  explicit InvariantError(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when a simulation model reaches an illegal electrical or protocol
+/// state (e.g. two tri-state drivers fighting on a test-bus wire).
+class SimulationError : public Error {
+ public:
+  explicit SimulationError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_precondition(std::string_view expr,
+                                            std::string_view file, int line,
+                                            std::string_view msg) {
+  std::ostringstream os;
+  os << "precondition failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw PreconditionError(os.str());
+}
+
+[[noreturn]] inline void throw_invariant(std::string_view expr,
+                                         std::string_view file, int line,
+                                         std::string_view msg) {
+  std::ostringstream os;
+  os << "invariant failed: " << expr << " at " << file << ':' << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw InvariantError(os.str());
+}
+
+}  // namespace detail
+
+/// Checks a documented precondition on public API input.
+#define CASBUS_REQUIRE(expr, msg)                                          \
+  do {                                                                     \
+    if (!(expr))                                                           \
+      ::casbus::detail::throw_precondition(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+/// Checks an internal invariant; failure indicates a library bug.
+#define CASBUS_ASSERT(expr, msg)                                         \
+  do {                                                                   \
+    if (!(expr))                                                         \
+      ::casbus::detail::throw_invariant(#expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+}  // namespace casbus

@@ -1,0 +1,11 @@
+#include "util/logic.hpp"
+
+#include <ostream>
+
+namespace casbus {
+
+std::ostream& operator<<(std::ostream& os, Logic4 v) {
+  return os << to_char(v);
+}
+
+}  // namespace casbus

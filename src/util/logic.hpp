@@ -1,0 +1,116 @@
+/// \file logic.hpp
+/// Four-state logic values (0, 1, Z, X) and their operators.
+///
+/// The CAS-BUS architecture relies on tri-stated switch outputs (paper §3:
+/// "the tri-stated switcher outputs and inputs are switched to high
+/// impedance" during configuration), so every wire in both the behavioral
+/// kernel and the gate-level simulator carries a four-state value:
+///   - Zero / One : driven logic levels
+///   - Z          : high impedance (no driver)
+///   - X          : unknown / conflict
+/// Operator semantics follow IEEE 1164 std_logic for the subset we need.
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+#include "util/error.hpp"
+
+namespace casbus {
+
+/// A four-state logic value.
+enum class Logic4 : std::uint8_t { Zero = 0, One = 1, Z = 2, X = 3 };
+
+/// Converts a bool to a driven logic level.
+constexpr Logic4 to_logic(bool b) noexcept {
+  return b ? Logic4::One : Logic4::Zero;
+}
+
+/// True when \p v is a driven 0 or 1.
+constexpr bool is01(Logic4 v) noexcept {
+  return v == Logic4::Zero || v == Logic4::One;
+}
+
+/// Extracts the boolean value of a driven level; throws on Z/X.
+inline bool to_bool(Logic4 v) {
+  CASBUS_REQUIRE(is01(v), "Logic4 value is not a driven 0/1");
+  return v == Logic4::One;
+}
+
+/// Logical AND with X-propagation (0 dominates).
+constexpr Logic4 logic_and(Logic4 a, Logic4 b) noexcept {
+  if (a == Logic4::Zero || b == Logic4::Zero) return Logic4::Zero;
+  if (a == Logic4::One && b == Logic4::One) return Logic4::One;
+  return Logic4::X;
+}
+
+/// Logical OR with X-propagation (1 dominates).
+constexpr Logic4 logic_or(Logic4 a, Logic4 b) noexcept {
+  if (a == Logic4::One || b == Logic4::One) return Logic4::One;
+  if (a == Logic4::Zero && b == Logic4::Zero) return Logic4::Zero;
+  return Logic4::X;
+}
+
+/// Logical NOT with X-propagation.
+constexpr Logic4 logic_not(Logic4 a) noexcept {
+  if (a == Logic4::Zero) return Logic4::One;
+  if (a == Logic4::One) return Logic4::Zero;
+  return Logic4::X;
+}
+
+/// Logical XOR with X-propagation.
+constexpr Logic4 logic_xor(Logic4 a, Logic4 b) noexcept {
+  if (!is01(a) || !is01(b)) return Logic4::X;
+  return to_logic(a != b);
+}
+
+/// Two-input multiplexer: returns \p a when sel = 0, \p b when sel = 1,
+/// X when the select is not driven (unless both data inputs agree).
+constexpr Logic4 logic_mux(Logic4 sel, Logic4 a, Logic4 b) noexcept {
+  if (sel == Logic4::Zero) return a;
+  if (sel == Logic4::One) return b;
+  return (a == b && is01(a)) ? a : Logic4::X;
+}
+
+/// Tri-state buffer: passes \p d when \p en = 1, Z when en = 0, X otherwise.
+constexpr Logic4 logic_tribuf(Logic4 en, Logic4 d) noexcept {
+  if (en == Logic4::Zero) return Logic4::Z;
+  if (en == Logic4::One) return is01(d) ? d : Logic4::X;
+  return Logic4::X;
+}
+
+/// Wired-net resolution of two drivers (IEEE 1164 std_logic resolution
+/// restricted to {0,1,Z,X}): Z yields to any driver; conflicting drivers
+/// produce X.
+constexpr Logic4 resolve(Logic4 a, Logic4 b) noexcept {
+  if (a == Logic4::Z) return b;
+  if (b == Logic4::Z) return a;
+  if (a == b) return a;
+  return Logic4::X;
+}
+
+/// Character rendering: '0', '1', 'z', 'x'.
+constexpr char to_char(Logic4 v) noexcept {
+  switch (v) {
+    case Logic4::Zero: return '0';
+    case Logic4::One: return '1';
+    case Logic4::Z: return 'z';
+    default: return 'x';
+  }
+}
+
+/// Parses '0', '1', 'z'/'Z', 'x'/'X'.
+inline Logic4 logic_from_char(char c) {
+  switch (c) {
+    case '0': return Logic4::Zero;
+    case '1': return Logic4::One;
+    case 'z': case 'Z': return Logic4::Z;
+    case 'x': case 'X': return Logic4::X;
+    default: CASBUS_REQUIRE(false, "invalid Logic4 character"); return Logic4::X;
+  }
+}
+
+std::ostream& operator<<(std::ostream& os, Logic4 v);
+
+}  // namespace casbus

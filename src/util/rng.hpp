@@ -1,0 +1,95 @@
+/// \file rng.hpp
+/// Deterministic, seedable pseudo-random number generation.
+///
+/// Every stochastic element in the library (synthetic core generation,
+/// random pattern sources, property tests) draws from this generator so that
+/// all experiments are reproducible from a single seed. The implementation is
+/// xoshiro256** 1.0 (Blackman & Vigna), which is small, fast and has no
+/// external dependencies.
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.hpp"
+
+namespace casbus {
+
+/// xoshiro256** pseudo-random generator with splitmix64 seeding.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  /// Seeds the generator; equal seeds yield equal streams.
+  explicit Rng(std::uint64_t seed = 0xCA5B05'2000ULL) { reseed(seed); }
+
+  /// Re-seeds in place.
+  void reseed(std::uint64_t seed) {
+    // splitmix64 expansion of the scalar seed into 256 bits of state.
+    std::uint64_t x = seed;
+    for (auto& s : state_) {
+      x += 0x9E3779B97F4A7C15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+      s = z ^ (z >> 31);
+    }
+  }
+
+  /// Next raw 64-bit value.
+  std::uint64_t next() noexcept {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// UniformRandomBitGenerator interface.
+  std::uint64_t operator()() noexcept { return next(); }
+  static constexpr std::uint64_t min() noexcept { return 0; }
+  static constexpr std::uint64_t max() noexcept { return ~0ULL; }
+
+  /// Uniform integer in [0, bound). \p bound must be positive.
+  std::uint64_t below(std::uint64_t bound) {
+    CASBUS_REQUIRE(bound > 0, "Rng::below requires a positive bound");
+    // Lemire's nearly-divisionless rejection method.
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto lo = static_cast<std::uint64_t>(m);
+    if (lo < bound) {
+      const std::uint64_t threshold = (0 - bound) % bound;
+      while (lo < threshold) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        lo = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    CASBUS_REQUIRE(lo <= hi, "Rng::range requires lo <= hi");
+    return lo + static_cast<std::int64_t>(
+                    below(static_cast<std::uint64_t>(hi - lo) + 1));
+  }
+
+  /// Fair coin, or biased coin with probability \p p_true of returning true.
+  bool coin(double p_true = 0.5) {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53 < p_true;
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4] = {};
+};
+
+}  // namespace casbus

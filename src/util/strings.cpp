@@ -1,0 +1,50 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdio>
+
+namespace casbus {
+
+std::string join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out += sep;
+    out += parts[i];
+  }
+  return out;
+}
+
+std::string format_double(double value, int decimals) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, value);
+  return buf;
+}
+
+std::string pad_left(std::string_view s, std::size_t width) {
+  std::string out(s);
+  if (out.size() < width) out.insert(0, width - out.size(), ' ');
+  return out;
+}
+
+std::string pad_right(std::string_view s, std::size_t width) {
+  std::string out(s);
+  if (out.size() < width) out.append(width - out.size(), ' ');
+  return out;
+}
+
+bool is_identifier(std::string_view s) {
+  if (s.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(s[0]))) return false;
+  for (char c : s.substr(1)) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') return false;
+  }
+  return true;
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+}  // namespace casbus

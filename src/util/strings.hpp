@@ -1,0 +1,31 @@
+/// \file strings.hpp
+/// Small string helpers shared by emitters, table printers and reports.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace casbus {
+
+/// Joins \p parts with \p sep between consecutive elements.
+std::string join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// Returns \p value formatted with \p decimals digits after the point.
+std::string format_double(double value, int decimals = 2);
+
+/// Left-pads \p s with spaces to at least \p width characters.
+std::string pad_left(std::string_view s, std::size_t width);
+
+/// Right-pads \p s with spaces to at least \p width characters.
+std::string pad_right(std::string_view s, std::size_t width);
+
+/// True when \p s is a valid VHDL / Verilog style identifier
+/// ([A-Za-z][A-Za-z0-9_]*).
+bool is_identifier(std::string_view s);
+
+/// Lower-cases ASCII letters.
+std::string to_lower(std::string_view s);
+
+}  // namespace casbus

@@ -1,0 +1,72 @@
+#include "util/table.hpp"
+
+#include <ostream>
+#include <sstream>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace casbus {
+
+Table::Table(std::vector<std::string> headers, std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  CASBUS_REQUIRE(!headers_.empty(), "Table requires at least one column");
+  if (aligns_.empty()) aligns_.assign(headers_.size(), Align::Right);
+  CASBUS_REQUIRE(aligns_.size() == headers_.size(),
+                 "Table alignment count must match column count");
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  CASBUS_REQUIRE(cells.size() == headers_.size(),
+                 "Table row has wrong number of cells");
+  rows_.push_back(std::move(cells));
+  ++n_data_rows_;
+}
+
+void Table::add_separator() { rows_.emplace_back(); }
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    widths[c] = headers_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c)
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+  }
+
+  const auto emit_row = [&](const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ';
+      os << (aligns_[c] == Align::Right ? pad_left(row[c], widths[c])
+                                        : pad_right(row[c], widths[c]));
+      os << " |";
+    }
+    os << '\n';
+  };
+  const auto emit_sep = [&] {
+    os << '+';
+    for (std::size_t c = 0; c < widths.size(); ++c)
+      os << std::string(widths[c] + 2, '-') << '+';
+    os << '\n';
+  };
+
+  emit_sep();
+  emit_row(headers_);
+  emit_sep();
+  for (const auto& row : rows_) {
+    if (row.empty())
+      emit_sep();
+    else
+      emit_row(row);
+  }
+  emit_sep();
+}
+
+std::string Table::to_string() const {
+  std::ostringstream os;
+  print(os);
+  return os.str();
+}
+
+}  // namespace casbus

@@ -1,0 +1,48 @@
+/// \file table.hpp
+/// Console table rendering used by the benchmark harnesses to print
+/// paper-style result tables (e.g. the Table 1 reproduction).
+
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace casbus {
+
+/// Column alignment inside a rendered table.
+enum class Align { Left, Right };
+
+/// A simple monospace table: header row, separator, data rows.
+///
+/// Cells are strings; numeric callers format with format_double / to_string.
+/// Rendering pads every column to its widest cell.
+class Table {
+ public:
+  /// Creates a table with the given column headers.
+  explicit Table(std::vector<std::string> headers,
+                 std::vector<Align> aligns = {});
+
+  /// Appends a data row; must have exactly one cell per column.
+  void add_row(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator row.
+  void add_separator();
+
+  /// Number of data rows added so far (separators excluded).
+  [[nodiscard]] std::size_t rows() const noexcept { return n_data_rows_; }
+
+  /// Renders the table to \p os with a trailing newline.
+  void print(std::ostream& os) const;
+
+  /// Renders to a string.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;  // empty vector = separator
+  std::size_t n_data_rows_ = 0;
+};
+
+}  // namespace casbus

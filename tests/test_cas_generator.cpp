@@ -1,0 +1,443 @@
+// Equivalence suite: generated gate-level CASes must match the behavioral
+// model cycle-for-cycle — through configuration sessions, mode changes and
+// random data traffic — for both implementation styles, with and without
+// the logic optimizer.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/cas_behavior.hpp"
+#include "core/cas_generator.hpp"
+#include "core/config_protocol.hpp"
+#include "core/test_bus.hpp"
+#include "netlist/emit.hpp"
+#include "netlist/gatesim.hpp"
+#include "netlist/opt.hpp"
+#include "sim/simulation.hpp"
+#include "util/rng.hpp"
+
+namespace casbus::tam {
+namespace {
+
+struct GenCase {
+  unsigned n, p;
+  CasImplementation impl;
+  bool optimize;
+};
+
+std::string case_name(const ::testing::TestParamInfo<GenCase>& info) {
+  std::ostringstream os;
+  os << 'N' << info.param.n << "_P" << info.param.p << '_'
+     << (info.param.impl == CasImplementation::Generic ? "generic" : "opt")
+     << (info.param.optimize ? "_synth" : "_raw");
+  return os.str();
+}
+
+/// Drives a behavioral CAS and a generated netlist with identical stimuli
+/// and compares every bus/core output every cycle.
+class CasEquivalence : public ::testing::TestWithParam<GenCase> {
+ protected:
+  void SetUp() override {
+    const auto prm = GetParam();
+    n_ = prm.n;
+    p_ = prm.p;
+    CasGenOptions opts;
+    opts.impl = prm.impl;
+    opts.run_optimizer = prm.optimize;
+    gen_ = std::make_unique<GeneratedCas>(generate_cas(n_, p_, opts));
+    gate_ = std::make_unique<netlist::GateSim>(gen_->netlist);
+    gate_->reset();
+
+    chain_ = std::make_unique<CasBusChain>(sim_, n_, "bus");
+    cas_ = &chain_->add_cas("dut", p_);
+    sim_.reset();
+    drive(0, 0, false, false);
+  }
+
+  /// Applies one input vector to both models.
+  void drive(std::uint64_t e, std::uint64_t i, bool config, bool update) {
+    chain_->head().set_uint(e);
+    chain_->cas_i(0).set_uint(i);
+    chain_->config_wire().set(config);
+    chain_->update_wire().set(update);
+    for (unsigned w = 0; w < n_; ++w)
+      gate_->set_input("e" + std::to_string(w), ((e >> w) & 1ULL) != 0);
+    for (unsigned j = 0; j < p_; ++j)
+      gate_->set_input("i" + std::to_string(j), ((i >> j) & 1ULL) != 0);
+    gate_->set_input("config", config);
+    gate_->set_input("update", update);
+  }
+
+  /// Settles both models and compares all outputs.
+  void check(const std::string& ctx) {
+    sim_.settle();
+    gate_->eval();
+    for (unsigned w = 0; w < n_; ++w) {
+      EXPECT_EQ(gate_->output("s" + std::to_string(w)),
+                chain_->tail()[w].get())
+          << ctx << " wire s" << w;
+    }
+    for (unsigned j = 0; j < p_; ++j) {
+      EXPECT_EQ(gate_->output("o" + std::to_string(j)),
+                chain_->cas_o(0)[j].get())
+          << ctx << " port o" << j;
+    }
+  }
+
+  /// One clock edge on both models.
+  void tick() {
+    sim_.step();
+    gate_->tick();
+  }
+
+  /// Full configuration session loading \p code into both models.
+  void configure(std::uint64_t code) {
+    const unsigned k = cas_->isa().k();
+    for (unsigned b = k; b-- > 0;) {
+      drive(((code >> b) & 1ULL) != 0 ? 1u : 0u, 0, true, false);
+      check("config shift");
+      tick();
+    }
+    drive(0, 0, true, true);
+    check("update");
+    tick();
+    drive(0, 0, false, false);
+    check("post-config");
+  }
+
+  unsigned n_ = 0, p_ = 0;
+  sim::Simulation sim_;
+  std::unique_ptr<CasBusChain> chain_;
+  CasBehavior* cas_ = nullptr;
+  std::unique_ptr<GeneratedCas> gen_;
+  std::unique_ptr<netlist::GateSim> gate_;
+};
+
+TEST_P(CasEquivalence, RandomSessionsMatchCycleForCycle) {
+  Rng rng(1234 + n_ * 31 + p_);
+  const std::uint64_t m = cas_->isa().m();
+  const unsigned k = cas_->isa().k();
+
+  // Round 0 exercises reset state (bypass) before any configuration.
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    drive(rng.below(1ULL << n_), rng.below(1ULL << p_), false, false);
+    check("reset-bypass");
+    tick();
+  }
+
+  for (int round = 0; round < 8; ++round) {
+    // Mix of codes: bypass, config-chain, valid tests, invalid padding.
+    std::uint64_t code = 0;
+    switch (round % 4) {
+      case 0: code = InstructionSet::kBypassCode; break;
+      case 1:
+        code = InstructionSet::kFirstTestCode + rng.below(m - 2);
+        break;
+      case 2: {
+        const std::uint64_t space = 1ULL << k;
+        code = space > m ? m + rng.below(space - m)  // invalid -> bypass
+                         : InstructionSet::kBypassCode;
+        break;
+      }
+      default:
+        code = InstructionSet::kFirstTestCode + rng.below(m - 2);
+        break;
+    }
+    configure(code);
+    EXPECT_EQ(cas_->instruction(), code);
+
+    for (int cycle = 0; cycle < 6; ++cycle) {
+      drive(rng.below(1ULL << n_), rng.below(1ULL << p_), false, false);
+      check("data round " + std::to_string(round));
+      tick();
+    }
+  }
+}
+
+TEST_P(CasEquivalence, GlobalConfigOverridesTestInstruction) {
+  // Load a TEST code, then assert the global config wire: both models must
+  // fall back to chain mode (Z on core pins, IR tail on s0).
+  configure(InstructionSet::kFirstTestCode);
+  drive(0b1, 0, true, false);
+  check("config-over-test");
+  tick();
+  check("config-over-test-2");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CasEquivalence,
+    ::testing::Values(
+        GenCase{3, 1, CasImplementation::Generic, false},
+        GenCase{3, 1, CasImplementation::OptimizedGateLevel, false},
+        GenCase{4, 2, CasImplementation::Generic, false},
+        GenCase{4, 2, CasImplementation::OptimizedGateLevel, false},
+        GenCase{4, 3, CasImplementation::Generic, false},
+        GenCase{4, 3, CasImplementation::OptimizedGateLevel, false},
+        GenCase{5, 2, CasImplementation::Generic, false},
+        GenCase{5, 2, CasImplementation::OptimizedGateLevel, false},
+        GenCase{6, 1, CasImplementation::Generic, false},
+        GenCase{6, 1, CasImplementation::OptimizedGateLevel, false},
+        GenCase{6, 3, CasImplementation::Generic, true},
+        GenCase{6, 3, CasImplementation::OptimizedGateLevel, true},
+        GenCase{4, 2, CasImplementation::Generic, true},
+        GenCase{4, 2, CasImplementation::OptimizedGateLevel, true},
+        GenCase{8, 4, CasImplementation::OptimizedGateLevel, true}),
+    case_name);
+
+/// Exhaustive sweep: for EVERY instruction code of a small geometry, load
+/// it through the real configuration protocol on the gate-level netlist
+/// and verify the routing of every wire against the decoded scheme.
+class CasExhaustive
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(CasExhaustive, EveryCodeRoutesExactlyAsDecoded) {
+  const auto [n, p] = GetParam();
+  for (const auto impl : {CasImplementation::Generic,
+                          CasImplementation::OptimizedGateLevel}) {
+    const GeneratedCas gen = generate_cas(n, p, {impl, true});
+    netlist::GateSim sim(gen.netlist);
+    sim.reset();
+
+    const auto drive = [&](std::uint64_t e, std::uint64_t i, bool config,
+                           bool update) {
+      for (unsigned w = 0; w < n; ++w)
+        sim.set_input("e" + std::to_string(w), ((e >> w) & 1ULL) != 0);
+      for (unsigned j = 0; j < p; ++j)
+        sim.set_input("i" + std::to_string(j), ((i >> j) & 1ULL) != 0);
+      sim.set_input("config", config);
+      sim.set_input("update", update);
+      sim.eval();
+    };
+
+    for (std::uint64_t code = 0; code < gen.isa.m(); ++code) {
+      // Serial configuration, MSB first.
+      for (unsigned b = gen.isa.k(); b-- > 0;) {
+        drive(((code >> b) & 1ULL) != 0 ? 1 : 0, 0, true, false);
+        sim.tick();
+      }
+      drive(0, 0, true, true);
+      sim.tick();
+
+      // Probe with a walking one on e plus alternating i.
+      for (unsigned hot = 0; hot < n; ++hot) {
+        const std::uint64_t e = 1ULL << hot;
+        const std::uint64_t i = 0b0101010101 & ((1ULL << p) - 1);
+        drive(e, i, false, false);
+        if (gen.isa.is_test(code)) {
+          const SwitchScheme scheme = gen.isa.decode(code);
+          for (unsigned j = 0; j < p; ++j)
+            EXPECT_EQ(sim.output("o" + std::to_string(j)),
+                      to_logic(scheme.wire_of_port(j) == hot))
+                << "code " << code << " hot " << hot << " port " << j;
+          for (unsigned w = 0; w < n; ++w) {
+            const auto port = scheme.port_of_wire(w);
+            const bool expect = port.has_value()
+                                    ? ((i >> *port) & 1ULL) != 0
+                                    : w == hot;
+            EXPECT_EQ(sim.output("s" + std::to_string(w)),
+                      to_logic(expect))
+                << "code " << code << " hot " << hot << " wire " << w;
+          }
+        } else if (InstructionSet::is_config(code)) {
+          for (unsigned j = 0; j < p; ++j)
+            EXPECT_EQ(sim.output("o" + std::to_string(j)), Logic4::Z);
+        } else {  // BYPASS (incl. any invalid padding codes)
+          for (unsigned w = 0; w < n; ++w)
+            EXPECT_EQ(sim.output("s" + std::to_string(w)),
+                      to_logic(w == hot))
+                << "bypass code " << code << " wire " << w;
+          for (unsigned j = 0; j < p; ++j)
+            EXPECT_EQ(sim.output("o" + std::to_string(j)), Logic4::Z);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SmallGeometries, CasExhaustive,
+                         ::testing::Values(std::make_pair(3u, 1u),
+                                           std::make_pair(4u, 2u),
+                                           std::make_pair(4u, 3u),
+                                           std::make_pair(5u, 2u)),
+                         [](const auto& info) {
+                           return "N" + std::to_string(info.param.first) +
+                                  "_P" + std::to_string(info.param.second);
+                         });
+
+TEST(CasGenerator, DegenerateGeometryWidthOne) {
+  // N = 1, P = 1: m = A(1,1) + 2 = 3, k = 2. The single wire either
+  // bypasses, chains the IR, or routes to the core.
+  const InstructionSet isa(1, 1);
+  EXPECT_EQ(isa.m(), 3u);
+  EXPECT_EQ(isa.k(), 2u);
+  for (const auto impl : {CasImplementation::Generic,
+                          CasImplementation::OptimizedGateLevel}) {
+    const GeneratedCas gen = generate_cas(1, 1, {impl, true});
+    netlist::GateSim sim(gen.netlist);
+    sim.reset();
+    // Configure TEST (code 2 = 0b10): shift MSB first.
+    for (const bool bit : {true, false}) {
+      sim.set_input("e0", bit);
+      sim.set_input("i0", false);
+      sim.set_input("config", true);
+      sim.set_input("update", false);
+      sim.eval();
+      sim.tick();
+    }
+    sim.set_input("update", true);
+    sim.eval();
+    sim.tick();
+    sim.set_input("config", false);
+    sim.set_input("update", false);
+    sim.set_input("e0", true);
+    sim.set_input("i0", false);
+    sim.eval();
+    EXPECT_EQ(sim.output("o0"), Logic4::One);
+    EXPECT_EQ(sim.output("s0"), Logic4::Zero);  // return path = i0
+  }
+}
+
+TEST(CasGenerator, FullWidthPEqualsN) {
+  // P = N: every wire claimed in TEST mode; m = N! + 2.
+  const GeneratedCas gen =
+      generate_cas(3, 3, {CasImplementation::OptimizedGateLevel, true});
+  EXPECT_EQ(gen.isa.m(), 8u);  // 3! + 2
+  netlist::GateSim sim(gen.netlist);
+  sim.reset();
+  // Behavioral cross-check through the shared equivalence helper is done
+  // in the parameterized suite; here just confirm structure is simulable.
+  for (const auto& port : gen.netlist.inputs())
+    sim.set_input(port.name, false);
+  sim.eval();
+  sim.tick();
+  SUCCEED();
+}
+
+TEST(CasGenerator, PortNamingContract) {
+  const GeneratedCas g = generate_cas(4, 2);
+  std::vector<std::string> in_names, out_names;
+  for (const auto& p : g.netlist.inputs()) in_names.push_back(p.name);
+  for (const auto& p : g.netlist.outputs()) out_names.push_back(p.name);
+  const std::vector<std::string> expect_in = {"e0", "e1", "e2", "e3",
+                                              "i0", "i1", "config",
+                                              "update"};
+  const std::vector<std::string> expect_out = {"o0", "o1", "s0",
+                                               "s1", "s2", "s3"};
+  EXPECT_EQ(in_names, expect_in);
+  EXPECT_EQ(out_names, expect_out);
+  EXPECT_EQ(g.isa.m(), 14u);
+  EXPECT_EQ(g.isa.k(), 4u);
+}
+
+TEST(CasGenerator, InstructionRegisterHasShiftAndUpdateStages) {
+  const GeneratedCas g = generate_cas(5, 2);  // k = 5
+  EXPECT_EQ(g.netlist.dff_count(), 2u * g.isa.k());
+}
+
+TEST(CasGenerator, OptimizedImplIsSmallerForLargeM) {
+  // §3.3: the optimized generation solves the area problem for large
+  // busses. For N=8, P=4 (m=1682) the arithmetic decoder must beat the
+  // one-hot decoder by a wide margin.
+  const GeneratedCas generic = generate_cas(
+      8, 4, {CasImplementation::Generic, true});
+  const GeneratedCas opt = generate_cas(
+      8, 4, {CasImplementation::OptimizedGateLevel, true});
+  EXPECT_LT(opt.cell_count() * 2, generic.cell_count());
+}
+
+TEST(CasGenerator, GenericRefusesAbsurdDecodeSizes) {
+  EXPECT_THROW((void)generate_cas(16, 8, {CasImplementation::Generic, false}),
+               PreconditionError);
+  // The optimized implementation handles the same geometry fine.
+  const GeneratedCas g =
+      generate_cas(16, 8, {CasImplementation::OptimizedGateLevel, false});
+  EXPECT_GT(g.cell_count(), 0u);
+}
+
+TEST(CasGenerator, PassTransistorAreaScalesWithCrossbar) {
+  const PassTransistorArea a44 = pass_transistor_area(4, 4);
+  const PassTransistorArea a88 = pass_transistor_area(8, 8);
+  EXPECT_GT(a88.transistors, a44.transistors);
+  EXPECT_DOUBLE_EQ(a44.gate_equivalents, a44.transistors / 4.0);
+  // Pass-transistor area must undercut gate-level GE for wide configs
+  // ("they solve the CAS area problem for large width test busses").
+  const GeneratedCas wide =
+      generate_cas(8, 4, {CasImplementation::OptimizedGateLevel, true});
+  const double wide_ge = netlist::AreaModel::typical().total(wide.netlist);
+  EXPECT_LT(pass_transistor_area(8, 4).gate_equivalents, wide_ge);
+}
+
+TEST(CasGenerator, EmitsSynthesizableVhdlAndVerilog) {
+  const GeneratedCas g = generate_cas(3, 1);
+  const std::string vhdl = netlist::emit_vhdl(g.netlist);
+  EXPECT_NE(vhdl.find("entity cas_n3_p1 is"), std::string::npos);
+  EXPECT_NE(vhdl.find("clk : in std_logic"), std::string::npos);
+  EXPECT_NE(vhdl.find("rising_edge(clk)"), std::string::npos);
+  EXPECT_NE(vhdl.find("'Z'"), std::string::npos);  // tri-stated o ports
+
+  const std::string verilog = netlist::emit_verilog(g.netlist);
+  EXPECT_NE(verilog.find("module cas_n3_p1"), std::string::npos);
+  EXPECT_NE(verilog.find("always @(posedge clk)"), std::string::npos);
+  EXPECT_NE(verilog.find("1'bz"), std::string::npos);
+  EXPECT_NE(verilog.find("endmodule"), std::string::npos);
+}
+
+TEST(CasGenerator, TwoGateLevelCasesChainThroughWire0) {
+  // Gate-level chained configuration: CAS A's s0 feeds CAS B's e0; one
+  // shift session programs both (paper §3: daisy-chained IRs).
+  const GeneratedCas ga = generate_cas(3, 1);  // k=3
+  const GeneratedCas gb = generate_cas(3, 1);
+  netlist::GateSim a(ga.netlist), bsim(gb.netlist);
+  a.reset();
+  bsim.reset();
+
+  const std::uint64_t code_a = 3, code_b = 4;  // TEST wire1, TEST wire2
+  const BitVector stream = build_config_stream(
+      {ConfigEntry{3, code_a}, ConfigEntry{3, code_b}});
+
+  const auto drive_both = [&](bool bit, bool config, bool update) {
+    a.set_input("config", config);
+    bsim.set_input("config", config);
+    a.set_input("update", update);
+    bsim.set_input("update", update);
+    for (unsigned w = 0; w < 3; ++w) {
+      a.set_input("e" + std::to_string(w), w == 0 && bit);
+      a.set_input("i0", false);
+      bsim.set_input("i0", false);
+    }
+    a.eval();
+    // B's bus inputs come from A's outputs (wire segments).
+    for (unsigned w = 0; w < 3; ++w)
+      bsim.set_input("e" + std::to_string(w),
+                     a.output("s" + std::to_string(w)));
+    bsim.eval();
+    a.tick();
+    // Re-evaluate A so B's tick captures post-edge-consistent data? No:
+    // both FF banks must capture pre-edge values, so B ticks on the values
+    // set above.
+    bsim.tick();
+  };
+
+  for (std::size_t i = 0; i < stream.size(); ++i)
+    drive_both(stream.get(i), true, false);
+  drive_both(false, true, true);  // update pulse
+
+  // Verify by behavior: A must route wire1 to o0, B wire2 to o0.
+  const auto probe = [&](netlist::GateSim& sim, unsigned wire) {
+    sim.set_input("config", false);
+    sim.set_input("update", false);
+    for (unsigned w = 0; w < 3; ++w)
+      sim.set_input("e" + std::to_string(w), w == wire);
+    sim.set_input("i0", false);
+    sim.eval();
+    return sim.output("o0");
+  };
+  EXPECT_EQ(probe(a, 1), Logic4::One);
+  EXPECT_EQ(probe(a, 2), Logic4::Zero);
+  EXPECT_EQ(probe(bsim, 2), Logic4::One);
+  EXPECT_EQ(probe(bsim, 1), Logic4::Zero);
+}
+
+}  // namespace
+}  // namespace casbus::tam

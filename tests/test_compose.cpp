@@ -1,0 +1,268 @@
+// Tests for netlist composition and the flattened whole-TAM netlist.
+
+#include <gtest/gtest.h>
+
+#include "core/casbus_netlist.hpp"
+#include "core/config_protocol.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/compose.hpp"
+#include "netlist/emit.hpp"
+#include "netlist/gatesim.hpp"
+#include "util/rng.hpp"
+
+namespace casbus {
+namespace {
+
+using netlist::NetId;
+using netlist::NetlistBuilder;
+
+netlist::Netlist make_half_adder() {
+  NetlistBuilder b("half_adder");
+  const NetId a = b.input("a");
+  const NetId c = b.input("b");
+  b.output("sum", b.xor2(a, c));
+  b.output("carry", b.and2(a, c));
+  return b.take();
+}
+
+TEST(Compose, InstantiateSingleChild) {
+  const netlist::Netlist ha = make_half_adder();
+  NetlistBuilder b("top");
+  const NetId x = b.input("x");
+  const NetId y = b.input("y");
+  const auto outs = netlist::instantiate(b, ha, "u0",
+                                         {{"a", x}, {"b", y}});
+  b.output("s", outs.at("sum"));
+  b.output("c", outs.at("carry"));
+  netlist::GateSim sim(b.take());
+
+  for (unsigned v = 0; v < 4; ++v) {
+    sim.set_input("x", (v & 1u) != 0);
+    sim.set_input("y", (v & 2u) != 0);
+    sim.eval();
+    EXPECT_EQ(sim.output("s"), to_logic(((v & 1u) != 0) ^ ((v & 2u) != 0)));
+    EXPECT_EQ(sim.output("c"), to_logic(v == 3));
+  }
+}
+
+TEST(Compose, TwoInstancesBuildFullAdder) {
+  const netlist::Netlist ha = make_half_adder();
+  NetlistBuilder b("full_adder");
+  const NetId x = b.input("x");
+  const NetId y = b.input("y");
+  const NetId cin = b.input("cin");
+  const auto u0 = netlist::instantiate(b, ha, "u0", {{"a", x}, {"b", y}});
+  const auto u1 = netlist::instantiate(
+      b, ha, "u1", {{"a", u0.at("sum")}, {"b", cin}});
+  b.output("s", u1.at("sum"));
+  b.output("cout", b.or2(u0.at("carry"), u1.at("carry")));
+  netlist::GateSim sim(b.take());
+
+  for (unsigned v = 0; v < 8; ++v) {
+    sim.set_input("x", (v & 1u) != 0);
+    sim.set_input("y", (v & 2u) != 0);
+    sim.set_input("cin", (v & 4u) != 0);
+    sim.eval();
+    const unsigned total = (v & 1u) + ((v >> 1) & 1u) + ((v >> 2) & 1u);
+    EXPECT_EQ(sim.output("s"), to_logic((total & 1u) != 0)) << v;
+    EXPECT_EQ(sim.output("cout"), to_logic(total >= 2)) << v;
+  }
+}
+
+TEST(Compose, FeedThroughOutputStillDrivesMappedNet) {
+  // A child whose output aliases an input net directly (feed-through, as
+  // the optimizer produces): mapping that output to a parent net must
+  // still drive it (regression for the composed-TAM wpo bug).
+  NetlistBuilder cb("feedthrough");
+  const NetId a = cb.input("a");
+  cb.output("y", a);  // y aliases the input net
+  const netlist::Netlist child = cb.take();
+
+  NetlistBuilder b("top");
+  const NetId x = b.input("x");
+  const NetId sink = b.net("sink");
+  (void)netlist::instantiate(b, child, "u0", {{"a", x}, {"y", sink}});
+  b.output("out", sink);
+  netlist::GateSim sim(b.take());
+  sim.set_input("x", true);
+  sim.eval();
+  EXPECT_EQ(sim.output("out"), Logic4::One);
+  sim.set_input("x", false);
+  sim.eval();
+  EXPECT_EQ(sim.output("out"), Logic4::Zero);
+}
+
+TEST(Compose, TwoOutputsSharingOneChildNet) {
+  NetlistBuilder cb("dup");
+  const NetId a = cb.input("a");
+  const NetId n = cb.not_(a);
+  cb.output("y1", n);
+  cb.output("y2", n);
+  const netlist::Netlist child = cb.take();
+
+  NetlistBuilder b("top");
+  const NetId x = b.input("x");
+  const NetId s1 = b.net("s1");
+  const NetId s2 = b.net("s2");
+  (void)netlist::instantiate(b, child, "u0",
+                             {{"a", x}, {"y1", s1}, {"y2", s2}});
+  b.output("o1", s1);
+  b.output("o2", s2);
+  netlist::GateSim sim(b.take());
+  sim.set_input("x", false);
+  sim.eval();
+  EXPECT_EQ(sim.output("o1"), Logic4::One);
+  EXPECT_EQ(sim.output("o2"), Logic4::One);
+}
+
+TEST(Compose, UnconnectedInputThrows) {
+  const netlist::Netlist ha = make_half_adder();
+  NetlistBuilder b("top");
+  const NetId x = b.input("x");
+  EXPECT_THROW((void)netlist::instantiate(b, ha, "u0", {{"a", x}}),
+               PreconditionError);
+}
+
+TEST(Compose, SequentialChildKeepsState) {
+  // A 2-stage shift register instantiated twice = 4-stage register.
+  netlist::Netlist child = [] {
+    NetlistBuilder b("sr2");
+    const NetId d = b.input("d");
+    const auto qs = b.shift_chain(d, 2, "st");
+    b.output("q", qs.back());
+    return b.take();
+  }();
+
+  NetlistBuilder b("sr4");
+  const NetId d = b.input("d");
+  const auto u0 = netlist::instantiate(b, child, "u0", {{"d", d}});
+  const auto u1 =
+      netlist::instantiate(b, child, "u1", {{"d", u0.at("q")}});
+  b.output("q", u1.at("q"));
+  netlist::GateSim sim(b.take());
+  sim.reset();
+
+  sim.set_input("d", true);
+  sim.eval();
+  for (int i = 0; i < 3; ++i) {
+    sim.tick();
+    EXPECT_EQ(sim.output("q"), Logic4::Zero) << "tick " << i;
+    sim.set_input("d", false);
+    sim.eval();
+  }
+  sim.tick();
+  EXPECT_EQ(sim.output("q"), Logic4::One);
+}
+
+TEST(CasBusNetlist, GeometryAndPorts) {
+  tam::CasBusNetlistSpec spec;
+  spec.width = 3;
+  spec.ports_per_cas = {1, 2, 1};
+  const tam::GeneratedCasBus bus = tam::generate_casbus_netlist(spec);
+
+  EXPECT_EQ(bus.width, 3u);
+  EXPECT_EQ(bus.isas.size(), 3u);
+  EXPECT_EQ(bus.total_ir_bits,
+            bus.isas[0].k() + bus.isas[1].k() + bus.isas[2].k());
+
+  // Ports: bus_in/out x3, config, update, per-CAS i/o.
+  std::size_t n_i = 0, n_o = 0;
+  for (const auto& p : bus.netlist.inputs())
+    if (p.name.rfind("cas", 0) == 0 &&
+        p.name.find("_i") != std::string::npos)
+      ++n_i;
+  for (const auto& p : bus.netlist.outputs())
+    if (p.name.rfind("cas", 0) == 0 &&
+        p.name.find("_o") != std::string::npos)
+      ++n_o;
+  EXPECT_EQ(n_i, 4u);  // 1 + 2 + 1
+  EXPECT_EQ(n_o, 4u);
+  EXPECT_EQ(bus.netlist.dff_count(),
+            2u * (bus.isas[0].k() + bus.isas[1].k() + bus.isas[2].k()));
+}
+
+TEST(CasBusNetlist, FlatTamExecutesChainedConfigurationAndRouting) {
+  // Program two CASes through the flattened wire-0 chain and verify the
+  // resulting routing — the same scenario as the two-GateSim chain test,
+  // but on one composed netlist.
+  tam::CasBusNetlistSpec spec;
+  spec.width = 3;
+  spec.ports_per_cas = {1, 1};
+  const tam::GeneratedCasBus bus = tam::generate_casbus_netlist(spec);
+  netlist::GateSim sim(bus.netlist);
+  sim.reset();
+
+  const auto drive_defaults = [&] {
+    for (unsigned w = 0; w < 3; ++w)
+      sim.set_input("bus_in" + std::to_string(w), false);
+    sim.set_input("cas0_i0", false);
+    sim.set_input("cas1_i0", false);
+    sim.set_input("config", false);
+    sim.set_input("update", false);
+  };
+  drive_defaults();
+
+  // codes: cas0 routes wire 1, cas1 routes wire 2.
+  const BitVector stream = tam::build_config_stream(
+      {tam::ConfigEntry{bus.isas[0].k(), 3},
+       tam::ConfigEntry{bus.isas[1].k(), 4}});
+  sim.set_input("config", true);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    sim.set_input("bus_in0", stream.get(i));
+    sim.eval();
+    sim.tick();
+  }
+  sim.set_input("update", true);
+  sim.eval();
+  sim.tick();
+  drive_defaults();
+
+  // Wire 1 high -> cas0_o0 sees it; cas1_o0 does not.
+  sim.set_input("bus_in1", true);
+  sim.eval();
+  EXPECT_EQ(sim.output("cas0_o0"), Logic4::One);
+  EXPECT_EQ(sim.output("cas1_o0"), Logic4::Zero);
+
+  // Wire 2 high -> cas1_o0 sees it.
+  sim.set_input("bus_in1", false);
+  sim.set_input("bus_in2", true);
+  sim.eval();
+  EXPECT_EQ(sim.output("cas0_o0"), Logic4::Zero);
+  EXPECT_EQ(sim.output("cas1_o0"), Logic4::One);
+
+  // Heuristic return path: cas0's i0 drives bus_out1 (claimed wire).
+  sim.set_input("cas0_i0", true);
+  sim.eval();
+  EXPECT_EQ(sim.output("bus_out1"), Logic4::One);
+  sim.set_input("cas0_i0", false);
+  sim.eval();
+  EXPECT_EQ(sim.output("bus_out1"), Logic4::Zero);
+}
+
+TEST(CasBusNetlist, EmitsSingleVhdlEntity) {
+  tam::CasBusNetlistSpec spec;
+  spec.width = 4;
+  spec.ports_per_cas = {2, 1};
+  spec.run_optimizer = true;
+  const tam::GeneratedCasBus bus = tam::generate_casbus_netlist(spec);
+  const std::string vhdl = netlist::emit_vhdl(bus.netlist);
+  EXPECT_NE(vhdl.find("entity casbus_n4_c2 is"), std::string::npos);
+  EXPECT_NE(vhdl.find("bus_in0"), std::string::npos);
+  EXPECT_NE(vhdl.find("cas0_o0"), std::string::npos);
+  EXPECT_NE(vhdl.find("cas1_i0"), std::string::npos);
+}
+
+TEST(CasBusNetlist, ValidatesSpec) {
+  tam::CasBusNetlistSpec bad;
+  bad.width = 0;
+  bad.ports_per_cas = {1};
+  EXPECT_THROW((void)tam::generate_casbus_netlist(bad), PreconditionError);
+  bad.width = 2;
+  bad.ports_per_cas = {};
+  EXPECT_THROW((void)tam::generate_casbus_netlist(bad), PreconditionError);
+  bad.ports_per_cas = {3};  // P > N
+  EXPECT_THROW((void)tam::generate_casbus_netlist(bad), PreconditionError);
+}
+
+}  // namespace
+}  // namespace casbus

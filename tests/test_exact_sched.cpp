@@ -1,0 +1,96 @@
+// The exhaustive scheduler: optimality sanity and heuristic-gap bounds.
+
+#include <gtest/gtest.h>
+
+#include "sched/exact.hpp"
+#include "util/rng.hpp"
+
+namespace casbus::sched {
+namespace {
+
+TEST(ExactScheduler, NeverWorseThanAnyHeuristic) {
+  Rng rng(17);
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<CoreTestSpec> cores;
+    const std::size_t n = 3 + rng.below(4);  // 3..6 scan cores
+    for (std::size_t i = 0; i < n; ++i) {
+      CoreTestSpec c;
+      c.name = "c" + std::to_string(i);
+      const std::size_t chains = 1 + rng.below(3);
+      for (std::size_t k = 0; k < chains; ++k)
+        c.chains.push_back(10 + rng.below(120));
+      c.patterns = 10 + rng.below(200);
+      cores.push_back(std::move(c));
+    }
+    if (rng.coin()) cores.push_back(CoreTestSpec{"b", {}, 0, 500});
+
+    const auto width = static_cast<unsigned>(2 + rng.below(5));
+    SessionScheduler s(cores, width);
+    const ExactResult exact = exact_schedule(s);
+
+    EXPECT_LE(exact.schedule.total_cycles,
+              s.single_session().total_cycles)
+        << "trial " << trial;
+    EXPECT_LE(exact.schedule.total_cycles,
+              s.per_core_sessions().total_cycles)
+        << "trial " << trial;
+    EXPECT_LE(exact.schedule.total_cycles, s.greedy().total_cycles)
+        << "trial " << trial;
+    EXPECT_GT(exact.partitions_tried, 0u);
+  }
+}
+
+TEST(ExactScheduler, GreedyStaysWithinModestGapOnSmallInstances) {
+  // Quality check for the polynomial heuristic: on random small
+  // instances, the grouped-partition optimum is at most ~25% better.
+  Rng rng(23);
+  double worst_gap = 0.0;
+  for (int trial = 0; trial < 10; ++trial) {
+    std::vector<CoreTestSpec> cores;
+    const std::size_t n = 4 + rng.below(3);
+    for (std::size_t i = 0; i < n; ++i) {
+      CoreTestSpec c;
+      c.name = "c" + std::to_string(i);
+      c.chains.push_back(20 + rng.below(100));
+      c.patterns = 20 + rng.below(150);
+      cores.push_back(std::move(c));
+    }
+    SessionScheduler s(cores, 3);
+    const ExactResult exact = exact_schedule(s);
+    const double gap =
+        static_cast<double>(s.greedy().total_cycles) /
+            static_cast<double>(exact.schedule.total_cycles) -
+        1.0;
+    worst_gap = std::max(worst_gap, gap);
+  }
+  EXPECT_LT(worst_gap, 0.25) << "greedy strayed too far from optimal";
+}
+
+TEST(ExactScheduler, SingleCoreIsTrivial) {
+  std::vector<CoreTestSpec> cores = {CoreTestSpec{"only", {30, 30}, 50, 0}};
+  SessionScheduler s(cores, 4);
+  const ExactResult exact = exact_schedule(s);
+  EXPECT_EQ(exact.partitions_tried, 1u);
+  EXPECT_EQ(exact.schedule.total_cycles,
+            s.per_core_sessions().total_cycles);
+}
+
+TEST(ExactScheduler, RefusesOversizedInstances) {
+  std::vector<CoreTestSpec> cores;
+  for (int i = 0; i < 12; ++i)
+    cores.push_back(CoreTestSpec{"c" + std::to_string(i), {10}, 10, 0});
+  SessionScheduler s(cores, 4);
+  EXPECT_THROW((void)exact_schedule(s, 10), PreconditionError);
+}
+
+TEST(ExactScheduler, PartitionCountsAreBellNumbers) {
+  // 4 scan cores -> B(4) = 15 partitions.
+  std::vector<CoreTestSpec> cores;
+  for (int i = 0; i < 4; ++i)
+    cores.push_back(CoreTestSpec{"c" + std::to_string(i), {10}, 10, 0});
+  SessionScheduler s(cores, 4);
+  EXPECT_EQ(exact_schedule(s).partitions_tried, 15u);
+}
+
+}  // namespace
+}  // namespace casbus::sched

@@ -1,0 +1,154 @@
+// SoC-level interconnect EXTEST: boundary-register stimulus/capture over
+// the wrapper serial ring, with injected interconnect defects.
+
+#include <gtest/gtest.h>
+
+#include "soc/soc.hpp"
+#include "soc/tester.hpp"
+
+namespace casbus::soc {
+namespace {
+
+tpg::SyntheticCoreSpec spec_io(std::uint64_t seed, std::size_t ins,
+                               std::size_t outs) {
+  tpg::SyntheticCoreSpec s;
+  s.n_inputs = ins;
+  s.n_outputs = outs;
+  s.n_flipflops = 8;
+  s.n_gates = 30;
+  s.n_chains = 1;
+  s.seed = seed;
+  return s;
+}
+
+std::unique_ptr<Soc> build_connected_soc() {
+  SocBuilder b(4);
+  b.add_scan_core("alpha", spec_io(1, 3, 3));
+  b.add_scan_core("beta", spec_io(2, 4, 2));
+  b.add_scan_core("gamma", spec_io(3, 2, 4));
+  // A little network: alpha -> beta, alpha -> gamma, gamma -> beta,
+  // beta -> alpha (a cycle is fine: boundary cells break it in EXTEST).
+  b.connect("alpha", 0, "beta", 0);
+  b.connect("alpha", 2, "gamma", 1);
+  b.connect("gamma", 3, "beta", 2);
+  b.connect("beta", 1, "alpha", 1);
+  return b.build();
+}
+
+TEST(Extest, FaultFreeInterconnectPasses) {
+  auto soc = build_connected_soc();
+  SocTester tester(*soc);
+  const ExtestResult r = tester.run_extest(6, 99);
+  EXPECT_EQ(r.connections, 4u);
+  EXPECT_EQ(r.vectors, 6u);
+  EXPECT_TRUE(r.all_pass()) << r.failing.size() << " failing";
+  EXPECT_GT(r.cycles, 0u);
+}
+
+TEST(Extest, DetectsEveryInjectedStuckConnection) {
+  auto soc = build_connected_soc();
+  SocTester tester(*soc);
+  for (std::size_t c = 0; c < 4; ++c) {
+    for (const bool stuck_one : {false, true}) {
+      soc->interconnect()->clear_faults();
+      soc->interconnect()->inject_stuck(c, stuck_one);
+      const ExtestResult r = tester.run_extest(6, 1234 + c);
+      ASSERT_EQ(r.failing.size(), 1u)
+          << "connection " << c << " stuck-at-" << stuck_one;
+      EXPECT_EQ(r.failing[0], c);
+    }
+  }
+  soc->interconnect()->clear_faults();
+  EXPECT_TRUE(tester.run_extest(4, 7).all_pass());
+}
+
+TEST(Extest, SingleVectorMayAliasButManyVectorsCannot) {
+  // A stuck-at matches the stimulus about half the time on one vector;
+  // with 8 random vectors the escape probability is ~2^-8 per connection.
+  auto soc = build_connected_soc();
+  SocTester tester(*soc);
+  soc->interconnect()->inject_stuck(0, true);
+  const ExtestResult r = tester.run_extest(8, 4242);
+  EXPECT_FALSE(r.all_pass());
+}
+
+TEST(Extest, RequiresAnInterconnect) {
+  SocBuilder b(3);
+  b.add_scan_core("lonely", spec_io(9, 2, 2));
+  auto soc = b.build();
+  SocTester tester(*soc);
+  EXPECT_THROW((void)tester.run_extest(), PreconditionError);
+}
+
+TEST(Extest, BuilderValidatesEndpoints) {
+  {
+    SocBuilder b(3);
+    b.add_scan_core("a", spec_io(1, 2, 2));
+    b.connect("a", 0, "nope", 0);
+    EXPECT_THROW((void)b.build(), PreconditionError);
+  }
+  {
+    SocBuilder b(3);
+    b.add_scan_core("a", spec_io(1, 2, 2));
+    b.add_scan_core("b", spec_io(2, 2, 2));
+    b.connect("a", 5, "b", 0);  // source pin out of range
+    EXPECT_THROW((void)b.build(), PreconditionError);
+  }
+}
+
+TEST(Extest, FunctionalModeStillWorksAfterExtest) {
+  // After an EXTEST session the wrappers return to Bypass and the
+  // interconnect serves functional traffic again.
+  auto soc = build_connected_soc();
+  SocTester tester(*soc);
+  (void)tester.run_extest(3, 5);
+  tester.load_all_wrappers(p1500::WrapperInstr::Bypass);
+
+  // Drive alpha's functional output path via its core (functional mode is
+  // transparent); easiest check: interconnect copies wires combinationally.
+  CoreInstance& alpha = soc->cores()[0];
+  CoreInstance& beta = soc->cores()[1];
+  // Manually drive alpha's sys_out (bypassing its core model) is not
+  // possible — the wrapper drives it. Instead verify transparency: beta's
+  // core_in follows whatever alpha's wrapper emits.
+  soc->simulation().settle();
+  const Logic4 src = alpha.sys_out[0]->get();
+  EXPECT_EQ(beta.as_scan().terminals().func_in[0]->get(), src);
+}
+
+TEST(Extest, HierarchicalCoresShareTheRingWithoutBreakingSpans) {
+  // A hierarchical core's children sit on the wrapper serial ring between
+  // top-level wrappers; the EXTEST composite layout must account for
+  // their boundary cells even though they are not interconnect endpoints.
+  SocBuilder b(4);
+  b.add_scan_core("left", spec_io(21, 2, 2));
+  b.add_hierarchical_core("middle", 1, {{"kid", spec_io(22, 1, 1)}});
+  b.add_scan_core("right", spec_io(23, 2, 2));
+  // Acyclic at the core level (the synthetic clouds are combinational).
+  b.connect("left", 0, "right", 1);
+  b.connect("left", 1, "right", 0);
+  auto soc = b.build();
+  SocTester tester(*soc);
+  const ExtestResult clean = tester.run_extest(5, 31);
+  EXPECT_TRUE(clean.all_pass());
+
+  soc->interconnect()->inject_stuck(1, false);
+  const ExtestResult bad = tester.run_extest(5, 32);
+  ASSERT_EQ(bad.failing.size(), 1u);
+  EXPECT_EQ(bad.failing[0], 1u);
+}
+
+TEST(Extest, MemoryCoreCanBeAnEndpoint) {
+  SocBuilder b(3);
+  b.add_scan_core("logic", spec_io(4, 2, 2));
+  b.add_memory_core("ram", 8, 4);
+  // logic.out0 -> ram.we (sys_in[0]).
+  b.connect("logic", 0, "ram", 0);
+  auto soc = b.build();
+  SocTester tester(*soc);
+  const ExtestResult r = tester.run_extest(5, 11);
+  EXPECT_TRUE(r.all_pass());
+}
+
+}  // namespace
+}  // namespace casbus::soc

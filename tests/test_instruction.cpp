@@ -1,0 +1,177 @@
+// Tests for the CAS instruction space: the m and k formulas against every
+// row of the paper's Table 1, and rank/unrank properties.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/arrangement.hpp"
+#include "core/instruction.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace casbus::tam {
+namespace {
+
+TEST(Arrangement, CountsMatchFactorialRatio) {
+  EXPECT_EQ(arrangement_count(4, 0), 1u);
+  EXPECT_EQ(arrangement_count(4, 1), 4u);
+  EXPECT_EQ(arrangement_count(4, 2), 12u);
+  EXPECT_EQ(arrangement_count(4, 4), 24u);
+  EXPECT_EQ(arrangement_count(8, 4), 1680u);
+  EXPECT_EQ(arrangement_count(6, 5), 720u);
+  EXPECT_THROW(arrangement_count(3, 4), PreconditionError);
+}
+
+TEST(Arrangement, RankOfFirstAndLast) {
+  EXPECT_EQ(arrangement_rank({0, 1, 2}, 5), 0u);
+  EXPECT_EQ(arrangement_rank({4, 3, 2}, 5), arrangement_count(5, 3) - 1);
+}
+
+TEST(Arrangement, UnrankEnumeratesLexicographically) {
+  // For (n=3, p=2) the lexicographic order is:
+  // 01 02 10 12 20 21
+  const std::vector<std::vector<unsigned>> expect = {
+      {0, 1}, {0, 2}, {1, 0}, {1, 2}, {2, 0}, {2, 1}};
+  for (std::uint64_t r = 0; r < expect.size(); ++r)
+    EXPECT_EQ(arrangement_unrank(r, 3, 2), expect[r]) << "rank " << r;
+}
+
+TEST(Arrangement, RankUnrankRoundTripExhaustive) {
+  for (unsigned n = 1; n <= 6; ++n) {
+    for (unsigned p = 1; p <= n; ++p) {
+      const std::uint64_t total = arrangement_count(n, p);
+      std::set<std::vector<unsigned>> seen;
+      for (std::uint64_t r = 0; r < total; ++r) {
+        const auto wires = arrangement_unrank(r, n, p);
+        EXPECT_EQ(arrangement_rank(wires, n), r);
+        EXPECT_TRUE(seen.insert(wires).second) << "duplicate arrangement";
+        // Wires are distinct and in range.
+        std::set<unsigned> uniq(wires.begin(), wires.end());
+        EXPECT_EQ(uniq.size(), p);
+        for (const unsigned w : wires) EXPECT_LT(w, n);
+      }
+      EXPECT_EQ(seen.size(), total);
+    }
+  }
+}
+
+TEST(Arrangement, InvalidInputsThrow) {
+  EXPECT_THROW(arrangement_rank({0, 0}, 3), PreconditionError);
+  EXPECT_THROW(arrangement_rank({3}, 3), PreconditionError);
+  EXPECT_THROW(arrangement_unrank(6, 3, 2), PreconditionError);
+}
+
+/// The paper's Table 1: N, P, m, k. Our formulas must reproduce every row
+/// exactly (gate counts are compared in bench_table1 instead).
+struct Table1Row {
+  unsigned n, p;
+  std::uint64_t m;
+  unsigned k;
+};
+
+class Table1 : public ::testing::TestWithParam<Table1Row> {};
+
+TEST_P(Table1, FormulaReproducesPaperRow) {
+  const auto row = GetParam();
+  const InstructionSet isa(row.n, row.p);
+  EXPECT_EQ(isa.m(), row.m) << "N=" << row.n << " P=" << row.p;
+  EXPECT_EQ(isa.k(), row.k) << "N=" << row.n << " P=" << row.p;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    PaperRows, Table1,
+    ::testing::Values(Table1Row{3, 1, 5, 3}, Table1Row{4, 1, 6, 3},
+                      Table1Row{4, 2, 14, 4}, Table1Row{4, 3, 26, 5},
+                      Table1Row{5, 1, 7, 3}, Table1Row{5, 2, 22, 5},
+                      Table1Row{5, 3, 62, 6}, Table1Row{6, 1, 8, 3},
+                      Table1Row{6, 2, 32, 5}, Table1Row{6, 3, 122, 7},
+                      Table1Row{6, 5, 722, 10}, Table1Row{8, 4, 1682, 11}),
+    [](const auto& info) {
+      return "N" + std::to_string(info.param.n) + "_P" +
+             std::to_string(info.param.p);
+    });
+
+TEST(InstructionSet, SpecialCodes) {
+  const InstructionSet isa(4, 2);
+  EXPECT_TRUE(InstructionSet::is_bypass(InstructionSet::kBypassCode));
+  EXPECT_TRUE(InstructionSet::is_config(InstructionSet::kConfigCode));
+  EXPECT_FALSE(isa.is_test(0));
+  EXPECT_FALSE(isa.is_test(1));
+  EXPECT_TRUE(isa.is_test(2));
+  EXPECT_TRUE(isa.is_test(isa.m() - 1));
+  EXPECT_FALSE(isa.is_test(isa.m()));
+  EXPECT_TRUE(isa.is_valid(isa.m() - 1));
+  EXPECT_FALSE(isa.is_valid(isa.m()));
+}
+
+TEST(InstructionSet, EncodeDecodeRoundTripExhaustive) {
+  const InstructionSet isa(5, 3);
+  for (std::uint64_t code = InstructionSet::kFirstTestCode; code < isa.m();
+       ++code) {
+    const SwitchScheme scheme = isa.decode(code);
+    EXPECT_EQ(isa.encode(scheme), code);
+    EXPECT_EQ(scheme.bus_width(), 5u);
+    EXPECT_EQ(scheme.port_count(), 3u);
+  }
+}
+
+TEST(InstructionSet, DecodeNonTestThrows) {
+  const InstructionSet isa(4, 2);
+  EXPECT_THROW((void)isa.decode(InstructionSet::kBypassCode),
+               PreconditionError);
+  EXPECT_THROW((void)isa.decode(isa.m()), PreconditionError);
+}
+
+TEST(InstructionSet, EncodeRejectsWrongGeometry) {
+  const InstructionSet isa(4, 2);
+  const SwitchScheme wrong = SwitchScheme::identity(2, 5);
+  EXPECT_THROW((void)isa.encode(wrong), PreconditionError);
+}
+
+TEST(InstructionSet, InvalidGeometryThrows) {
+  EXPECT_THROW(InstructionSet(0, 0), PreconditionError);
+  EXPECT_THROW(InstructionSet(4, 0), PreconditionError);
+  EXPECT_THROW(InstructionSet(4, 5), PreconditionError);
+}
+
+TEST(InstructionSet, KGrowsMonotonicallyWithM) {
+  // Property: k = ceil(log2 m) — check the defining inequalities for a
+  // sweep of geometries.
+  for (unsigned n = 1; n <= 10; ++n) {
+    for (unsigned p = 1; p <= n; ++p) {
+      const InstructionSet isa(n, p);
+      EXPECT_GE(1ULL << isa.k(), isa.m());
+      if (isa.k() > 0) EXPECT_LT(1ULL << (isa.k() - 1), isa.m());
+    }
+  }
+}
+
+TEST(SwitchScheme, DerivedReturnPathFollowsHeuristic) {
+  // Paper §3.2 heuristic: e_i -> o_j implies i_j -> s_i.
+  const SwitchScheme s({3, 0, 2}, 4);  // port0<-w3, port1<-w0, port2<-w2
+  EXPECT_EQ(s.wire_of_port(0), 3u);
+  ASSERT_TRUE(s.port_of_wire(3).has_value());
+  EXPECT_EQ(*s.port_of_wire(3), 0u);
+  EXPECT_EQ(*s.port_of_wire(0), 1u);
+  EXPECT_EQ(*s.port_of_wire(2), 2u);
+  EXPECT_FALSE(s.port_of_wire(1).has_value());
+  EXPECT_TRUE(s.wire_bypasses(1));
+  EXPECT_FALSE(s.wire_bypasses(0));
+}
+
+TEST(SwitchScheme, RejectsIllegalAssignments) {
+  EXPECT_THROW(SwitchScheme({0, 0}, 4), PreconditionError);   // duplicate
+  EXPECT_THROW(SwitchScheme({4}, 4), PreconditionError);      // out of range
+  EXPECT_THROW(SwitchScheme({0, 1, 2}, 2), PreconditionError);  // P > N
+  EXPECT_THROW(SwitchScheme({}, 4), PreconditionError);       // empty
+}
+
+TEST(SwitchScheme, IdentityMapsStraightThrough) {
+  const SwitchScheme s = SwitchScheme::identity(3, 6);
+  for (unsigned j = 0; j < 3; ++j) EXPECT_EQ(s.wire_of_port(j), j);
+  for (unsigned w = 3; w < 6; ++w) EXPECT_TRUE(s.wire_bypasses(w));
+}
+
+}  // namespace
+}  // namespace casbus::tam

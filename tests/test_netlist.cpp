@@ -1,0 +1,336 @@
+// Unit tests for the netlist data structure, builder and gate-level
+// simulator.
+
+#include <gtest/gtest.h>
+
+#include "netlist/builder.hpp"
+#include "netlist/gatesim.hpp"
+#include "netlist/netlist.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+
+namespace casbus::netlist {
+namespace {
+
+TEST(Builder, SimpleAndGate) {
+  NetlistBuilder b("and_test");
+  const NetId a = b.input("a");
+  const NetId c = b.input("b");
+  b.output("y", b.and2(a, c));
+  const Netlist nl = b.take();
+  EXPECT_EQ(nl.name(), "and_test");
+  EXPECT_EQ(nl.cell_count(), 1u);
+  EXPECT_EQ(nl.inputs().size(), 2u);
+  EXPECT_EQ(nl.outputs().size(), 1u);
+}
+
+TEST(Builder, TakeTwiceThrows) {
+  NetlistBuilder b("x");
+  const NetId a = b.input("a");
+  b.output("y", b.buf(a));
+  (void)b.take();
+  EXPECT_THROW((void)b.take(), PreconditionError);
+}
+
+TEST(Builder, OutputOnUnknownNetThrows) {
+  NetlistBuilder b("x");
+  EXPECT_THROW(b.output("y", 42), PreconditionError);
+}
+
+TEST(Netlist, ValidateRejectsDoubleDrivers) {
+  NetlistBuilder b("bad");
+  const NetId a = b.input("a");
+  const NetId y = b.buf(a);
+  b.tribuf(a, a, y);  // mixes plain driver with tri-state on one net
+  b.output("y", y);
+  EXPECT_THROW((void)b.take(), InvariantError);
+}
+
+TEST(Netlist, KindHistogramAndNames) {
+  NetlistBuilder b("hist");
+  const NetId a = b.input("a");
+  const NetId n1 = b.not_(a);
+  const NetId n2 = b.xor2(a, n1);
+  b.output("y", b.dff(n2, "state"));
+  const Netlist nl = b.take();
+  const auto h = nl.kind_histogram();
+  EXPECT_EQ(h[static_cast<std::size_t>(CellKind::Not)], 1u);
+  EXPECT_EQ(h[static_cast<std::size_t>(CellKind::Xor2)], 1u);
+  EXPECT_EQ(h[static_cast<std::size_t>(CellKind::Dff)], 1u);
+  EXPECT_EQ(nl.dff_count(), 1u);
+  // The DFF output net carries its given name.
+  bool found = false;
+  for (const auto& [net, name] : nl.net_names())
+    if (name == "state") found = true;
+  EXPECT_TRUE(found);
+}
+
+class GateTruth : public ::testing::TestWithParam<CellKind> {};
+
+TEST_P(GateTruth, MatchesLogic4Semantics) {
+  // Exhaustively compare each 2-input gate against the Logic4 operators
+  // over the full 4-state domain.
+  const CellKind kind = GetParam();
+  NetlistBuilder b("truth");
+  const NetId a = b.input("a");
+  const NetId c = b.input("b");
+  NetId y = kNoNet;
+  switch (kind) {
+    case CellKind::And2: y = b.and2(a, c); break;
+    case CellKind::Or2: y = b.or2(a, c); break;
+    case CellKind::Nand2: y = b.nand2(a, c); break;
+    case CellKind::Nor2: y = b.nor2(a, c); break;
+    case CellKind::Xor2: y = b.xor2(a, c); break;
+    case CellKind::Xnor2: y = b.xnor2(a, c); break;
+    default: FAIL();
+  }
+  b.output("y", y);
+  const Netlist nl = b.take();
+  GateSim sim(nl);
+
+  const Logic4 vals[] = {Logic4::Zero, Logic4::One, Logic4::Z, Logic4::X};
+  for (const Logic4 va : vals) {
+    for (const Logic4 vb : vals) {
+      sim.set_input("a", va);
+      sim.set_input("b", vb);
+      sim.eval();
+      Logic4 expect = Logic4::X;
+      switch (kind) {
+        case CellKind::And2: expect = logic_and(va, vb); break;
+        case CellKind::Or2: expect = logic_or(va, vb); break;
+        case CellKind::Nand2: expect = logic_not(logic_and(va, vb)); break;
+        case CellKind::Nor2: expect = logic_not(logic_or(va, vb)); break;
+        case CellKind::Xor2: expect = logic_xor(va, vb); break;
+        case CellKind::Xnor2: expect = logic_not(logic_xor(va, vb)); break;
+        default: FAIL();
+      }
+      EXPECT_EQ(sim.output("y"), expect)
+          << kind_name(kind) << '(' << to_char(va) << ',' << to_char(vb)
+          << ')';
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllGates, GateTruth,
+                         ::testing::Values(CellKind::And2, CellKind::Or2,
+                                           CellKind::Nand2, CellKind::Nor2,
+                                           CellKind::Xor2, CellKind::Xnor2),
+                         [](const auto& info) {
+                           return kind_name(info.param);
+                         });
+
+TEST(GateSimTest, MuxSelectsAndPropagatesX) {
+  NetlistBuilder b("mux");
+  const NetId a = b.input("a");
+  const NetId c = b.input("b");
+  const NetId s = b.input("s");
+  b.output("y", b.mux2(s, a, c));
+  GateSim sim(b.take());
+  sim.set_input("a", true);
+  sim.set_input("b", false);
+  sim.set_input("s", false);
+  sim.eval();
+  EXPECT_EQ(sim.output("y"), Logic4::One);
+  sim.set_input("s", true);
+  sim.eval();
+  EXPECT_EQ(sim.output("y"), Logic4::Zero);
+  sim.set_input("s", Logic4::X);
+  sim.eval();
+  EXPECT_EQ(sim.output("y"), Logic4::X);
+}
+
+TEST(GateSimTest, TristateBusResolution) {
+  // Two tri-state drivers on one net: exclusive enables resolve cleanly,
+  // both-off yields Z, conflicting drivers yield X.
+  NetlistBuilder b("tri");
+  const NetId d0 = b.input("d0");
+  const NetId e0 = b.input("en0");
+  const NetId d1 = b.input("d1");
+  const NetId e1 = b.input("en1");
+  const NetId bus = b.tribuf(e0, d0);
+  b.tribuf(e1, d1, bus);
+  b.output("y", bus);
+  GateSim sim(b.take());
+
+  sim.set_input("d0", true);
+  sim.set_input("en0", true);
+  sim.set_input("d1", false);
+  sim.set_input("en1", false);
+  sim.eval();
+  EXPECT_EQ(sim.output("y"), Logic4::One);
+
+  sim.set_input("en0", false);
+  sim.eval();
+  EXPECT_EQ(sim.output("y"), Logic4::Z);
+
+  sim.set_input("en0", true);
+  sim.set_input("en1", true);
+  sim.eval();
+  EXPECT_EQ(sim.output("y"), Logic4::X);  // 1 vs 0 conflict
+}
+
+TEST(GateSimTest, DffCapturesOnTick) {
+  NetlistBuilder b("ff");
+  const NetId d = b.input("d");
+  b.output("q", b.dff(d));
+  GateSim sim(b.take());
+  sim.reset();
+  sim.set_input("d", true);
+  sim.eval();
+  EXPECT_EQ(sim.output("q"), Logic4::Zero);  // not yet clocked
+  sim.tick();
+  EXPECT_EQ(sim.output("q"), Logic4::One);
+}
+
+TEST(GateSimTest, DffeHoldsWithoutEnable) {
+  NetlistBuilder b("ffe");
+  const NetId d = b.input("d");
+  const NetId en = b.input("en");
+  b.output("q", b.dffe(d, en));
+  GateSim sim(b.take());
+  sim.reset();
+  sim.set_input("d", true);
+  sim.set_input("en", false);
+  sim.eval();
+  sim.tick();
+  EXPECT_EQ(sim.output("q"), Logic4::Zero);  // held
+  sim.set_input("en", true);
+  sim.eval();
+  sim.tick();
+  EXPECT_EQ(sim.output("q"), Logic4::One);  // captured
+}
+
+TEST(GateSimTest, ShiftChainMovesOneStagePerTick) {
+  NetlistBuilder b("chain");
+  const NetId d = b.input("d");
+  const auto qs = b.shift_chain(d, 4, "st");
+  b.output("q", qs.back());
+  GateSim sim(b.take());
+  sim.reset();
+  sim.set_input("d", true);
+  sim.eval();
+  for (int i = 0; i < 3; ++i) {
+    sim.tick();
+    EXPECT_EQ(sim.output("q"), Logic4::Zero) << "cycle " << i;
+    sim.set_input("d", false);
+    sim.eval();
+  }
+  sim.tick();
+  EXPECT_EQ(sim.output("q"), Logic4::One);  // arrives after 4 ticks
+}
+
+TEST(GateSimTest, MuxNSelectsEveryInput) {
+  NetlistBuilder b("muxn");
+  std::vector<NetId> data;
+  for (int i = 0; i < 5; ++i) data.push_back(b.input("d" + std::to_string(i)));
+  std::vector<NetId> sel;
+  for (int i = 0; i < 3; ++i) sel.push_back(b.input("s" + std::to_string(i)));
+  b.output("y", b.mux_n(sel, data));
+  GateSim sim(b.take());
+
+  for (unsigned pick = 0; pick < 5; ++pick) {
+    for (unsigned i = 0; i < 5; ++i)
+      sim.set_input("d" + std::to_string(i), i == pick);
+    for (unsigned i = 0; i < 3; ++i)
+      sim.set_input("s" + std::to_string(i), ((pick >> i) & 1u) != 0);
+    sim.eval();
+    EXPECT_EQ(sim.output("y"), Logic4::One) << "select " << pick;
+  }
+}
+
+TEST(GateSimTest, DecoderIsOneHot) {
+  NetlistBuilder b("dec");
+  std::vector<NetId> code;
+  for (int i = 0; i < 3; ++i)
+    code.push_back(b.input("c" + std::to_string(i)));
+  const auto lines = b.decoder(code, 6);
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    b.output("y" + std::to_string(i), lines[i]);
+  GateSim sim(b.take());
+
+  for (unsigned v = 0; v < 8; ++v) {
+    for (unsigned i = 0; i < 3; ++i)
+      sim.set_input("c" + std::to_string(i), ((v >> i) & 1u) != 0);
+    sim.eval();
+    for (unsigned line = 0; line < 6; ++line) {
+      EXPECT_EQ(sim.output("y" + std::to_string(line)),
+                to_logic(line == v))
+          << "code " << v << " line " << line;
+    }
+  }
+}
+
+TEST(GateSimTest, CombinationalCycleRejected) {
+  // Construct a cycle through raw cells: a NAND whose output feeds itself
+  // via a buffer.
+  NetlistBuilder b("cyc");
+  const NetId a = b.input("a");
+  const NetId loop = b.net("loop");
+  const NetId y = b.nand2(a, loop);
+  // Close the loop with a buffer driving the pre-allocated net.
+  // NetlistBuilder has no generic "into" for buf, so use dff-free trick:
+  // tribuf with constant enable onto the loop net.
+  b.tribuf(b.const1(), y, loop);
+  b.output("y", y);
+  const Netlist nl = b.take();
+  EXPECT_THROW(GateSim sim(nl), SimulationError);
+}
+
+TEST(GateSimTest, ForceInjectsStuckAt) {
+  NetlistBuilder b("force");
+  const NetId a = b.input("a");
+  const NetId c = b.input("b");
+  const NetId mid = b.and2(a, c);
+  b.output("y", b.not_(mid));
+  const Netlist nl = b.take();
+  GateSim sim(nl);
+  sim.set_input("a", true);
+  sim.set_input("b", true);
+  sim.eval();
+  EXPECT_EQ(sim.output("y"), Logic4::Zero);
+  sim.set_force(mid, Logic4::Zero);  // stuck-at-0 on the AND output
+  sim.eval();
+  EXPECT_EQ(sim.output("y"), Logic4::One);
+  sim.clear_forces();
+  sim.eval();
+  EXPECT_EQ(sim.output("y"), Logic4::Zero);
+}
+
+TEST(GateSimTest, DepthReflectsLevelization) {
+  NetlistBuilder b("depth");
+  const NetId a = b.input("a");
+  NetId x = a;
+  for (int i = 0; i < 10; ++i) x = b.not_(x);
+  b.output("y", x);
+  GateSim sim(b.take());
+  EXPECT_EQ(sim.depth(), 10u);
+}
+
+TEST(GateSimTest, UnknownInputNameThrows) {
+  NetlistBuilder b("u");
+  const NetId a = b.input("a");
+  b.output("y", b.buf(a));
+  GateSim sim(b.take());
+  EXPECT_THROW(sim.set_input("nope", true), PreconditionError);
+  EXPECT_THROW((void)sim.output("nope"), PreconditionError);
+}
+
+TEST(RawNetlist, FromRawValidates) {
+  RawNetlist raw;
+  raw.name = "raw";
+  raw.n_nets = 2;
+  raw.inputs.push_back(Port{"a", 0});
+  raw.cells.push_back(Cell{CellKind::Not, {0, kNoNet, kNoNet}, 1});
+  raw.outputs.push_back(Port{"y", 1});
+  const Netlist nl = Netlist::from_raw(std::move(raw));
+  EXPECT_EQ(nl.cell_count(), 1u);
+
+  RawNetlist bad;
+  bad.name = "bad";
+  bad.n_nets = 1;
+  bad.outputs.push_back(Port{"y", 0});  // undriven output
+  EXPECT_THROW((void)Netlist::from_raw(std::move(bad)), InvariantError);
+}
+
+}  // namespace
+}  // namespace casbus::netlist

@@ -1,0 +1,181 @@
+// Exhaustive tests for the arithmetic macro-cells used by the optimized
+// CAS decoder.
+
+#include <gtest/gtest.h>
+
+#include "netlist/arith.hpp"
+#include "netlist/builder.hpp"
+#include "netlist/gatesim.hpp"
+
+namespace casbus::netlist {
+namespace {
+
+/// Builds a GateSim computing sub_const / ge_const for one constant, then
+/// sweeps every input value exhaustively.
+struct ArithCase {
+  unsigned width;
+  std::uint64_t constant;
+};
+
+class SubGeExhaustive : public ::testing::TestWithParam<ArithCase> {};
+
+TEST_P(SubGeExhaustive, MatchesReferenceArithmetic) {
+  const auto [width, c] = GetParam();
+  NetlistBuilder b("arith");
+  std::vector<NetId> a;
+  for (unsigned i = 0; i < width; ++i)
+    a.push_back(b.input("a" + std::to_string(i)));
+  const auto diff = sub_const(b, a, c);
+  for (unsigned i = 0; i < width; ++i)
+    b.output("d" + std::to_string(i), diff[i]);
+  b.output("ge", ge_const(b, a, c));
+  GateSim sim(b.take());
+
+  const std::uint64_t mask = (width >= 64) ? ~0ULL : ((1ULL << width) - 1);
+  for (std::uint64_t v = 0; v <= mask; ++v) {
+    for (unsigned i = 0; i < width; ++i)
+      sim.set_input("a" + std::to_string(i), ((v >> i) & 1ULL) != 0);
+    sim.eval();
+    std::uint64_t got = 0;
+    for (unsigned i = 0; i < width; ++i)
+      if (sim.output("d" + std::to_string(i)) == Logic4::One)
+        got |= 1ULL << i;
+    EXPECT_EQ(got, (v - c) & mask) << "v=" << v << " c=" << c;
+    EXPECT_EQ(sim.output("ge"), to_logic(v >= c)) << "v=" << v << " c=" << c;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Widths, SubGeExhaustive,
+    ::testing::Values(ArithCase{3, 0}, ArithCase{3, 1}, ArithCase{3, 5},
+                      ArithCase{4, 2}, ArithCase{4, 9}, ArithCase{5, 2},
+                      ArithCase{5, 17}, ArithCase{6, 31}, ArithCase{7, 64},
+                      ArithCase{8, 127}),
+    [](const auto& info) {
+      return "w" + std::to_string(info.param.width) + "_c" +
+             std::to_string(info.param.constant);
+    });
+
+TEST(GeConst, ConstantBeyondRangeIsFalse) {
+  NetlistBuilder b("ge");
+  std::vector<NetId> a = {b.input("a0"), b.input("a1")};
+  b.output("ge", ge_const(b, a, 9));  // 9 > max(3)
+  GateSim sim(b.take());
+  for (unsigned v = 0; v < 4; ++v) {
+    sim.set_input("a0", (v & 1u) != 0);
+    sim.set_input("a1", (v & 2u) != 0);
+    sim.eval();
+    EXPECT_EQ(sim.output("ge"), Logic4::Zero);
+  }
+}
+
+TEST(GeConst, ZeroConstantIsAlwaysTrue) {
+  NetlistBuilder b("ge0");
+  std::vector<NetId> a = {b.input("a0")};
+  b.output("ge", ge_const(b, a, 0));
+  GateSim sim(b.take());
+  sim.set_input("a0", false);
+  sim.eval();
+  EXPECT_EQ(sim.output("ge"), Logic4::One);
+}
+
+class PopcountExhaustive : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PopcountExhaustive, CountsEveryInputCombination) {
+  const unsigned n = GetParam();
+  NetlistBuilder b("pc");
+  std::vector<NetId> xs;
+  for (unsigned i = 0; i < n; ++i)
+    xs.push_back(b.input("x" + std::to_string(i)));
+  const auto cnt = popcount_bus(b, xs);
+  for (std::size_t i = 0; i < cnt.size(); ++i)
+    b.output("c" + std::to_string(i), cnt[i]);
+  GateSim sim(b.take());
+
+  for (std::uint64_t v = 0; v < (1ULL << n); ++v) {
+    unsigned expect = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      const bool bit = ((v >> i) & 1ULL) != 0;
+      sim.set_input("x" + std::to_string(i), bit);
+      if (bit) ++expect;
+    }
+    sim.eval();
+    unsigned got = 0;
+    for (std::size_t i = 0; i < cnt.size(); ++i)
+      if (sim.output("c" + std::to_string(i)) == Logic4::One)
+        got |= 1u << i;
+    EXPECT_EQ(got, expect) << "v=" << v << " n=" << n;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PopcountExhaustive,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(MuxOnehotBus, SelectsFullBuses) {
+  NetlistBuilder b("mob");
+  std::vector<std::vector<NetId>> data(3);
+  for (unsigned d = 0; d < 3; ++d)
+    for (unsigned i = 0; i < 2; ++i)
+      data[d].push_back(b.input("d" + std::to_string(d) + "_" +
+                                std::to_string(i)));
+  std::vector<NetId> sel;
+  for (unsigned s = 0; s < 3; ++s)
+    sel.push_back(b.input("s" + std::to_string(s)));
+  const auto out = mux_onehot_bus(b, sel, data);
+  for (unsigned i = 0; i < 2; ++i)
+    b.output("y" + std::to_string(i), out[i]);
+  GateSim sim(b.take());
+
+  // Load distinct values 01, 10, 11 into the three buses.
+  const unsigned vals[3] = {1, 2, 3};
+  for (unsigned d = 0; d < 3; ++d)
+    for (unsigned i = 0; i < 2; ++i)
+      sim.set_input("d" + std::to_string(d) + "_" + std::to_string(i),
+                    ((vals[d] >> i) & 1u) != 0);
+  for (unsigned pick = 0; pick < 3; ++pick) {
+    for (unsigned s = 0; s < 3; ++s)
+      sim.set_input("s" + std::to_string(s), s == pick);
+    sim.eval();
+    unsigned got = 0;
+    for (unsigned i = 0; i < 2; ++i)
+      if (sim.output("y" + std::to_string(i)) == Logic4::One) got |= 1u << i;
+    EXPECT_EQ(got, vals[pick]);
+  }
+  // All-zero select yields zero.
+  for (unsigned s = 0; s < 3; ++s)
+    sim.set_input("s" + std::to_string(s), false);
+  sim.eval();
+  EXPECT_EQ(sim.output("y0"), Logic4::Zero);
+  EXPECT_EQ(sim.output("y1"), Logic4::Zero);
+}
+
+TEST(AddConstWithCarry, CarryOutSpecializationsCover) {
+  // width-4 adder against every (value, constant) pair.
+  for (std::uint64_t c = 0; c < 16; ++c) {
+    NetlistBuilder b("acc");
+    std::vector<NetId> a;
+    for (unsigned i = 0; i < 4; ++i)
+      a.push_back(b.input("a" + std::to_string(i)));
+    const SumCarry sc = add_const_with_carry(b, a, c, true);
+    for (unsigned i = 0; i < 4; ++i)
+      b.output("s" + std::to_string(i), sc.sum[i]);
+    b.output("co", sc.carry_out);
+    GateSim sim(b.take());
+    for (std::uint64_t v = 0; v < 16; ++v) {
+      for (unsigned i = 0; i < 4; ++i)
+        sim.set_input("a" + std::to_string(i), ((v >> i) & 1ULL) != 0);
+      sim.eval();
+      const std::uint64_t full = v + c + 1;
+      std::uint64_t got = 0;
+      for (unsigned i = 0; i < 4; ++i)
+        if (sim.output("s" + std::to_string(i)) == Logic4::One)
+          got |= 1ULL << i;
+      EXPECT_EQ(got, full & 0xF) << "v=" << v << " c=" << c;
+      EXPECT_EQ(sim.output("co"), to_logic((full >> 4) != 0))
+          << "v=" << v << " c=" << c;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace casbus::netlist

@@ -1,0 +1,268 @@
+// Tests for the scheduling layer: time model, balancing, session
+// scheduling and the width explorer.
+
+#include <gtest/gtest.h>
+
+#include "sched/balance.hpp"
+#include "sched/scheduler.hpp"
+#include "sched/time_model.hpp"
+#include "sched/width_explorer.hpp"
+#include "util/rng.hpp"
+
+namespace casbus::sched {
+namespace {
+
+TEST(TimeModel, ScanFormulaMatchesSimulatorContract) {
+  // The exact numbers validated cycle-accurately in test_soc.
+  EXPECT_EQ(scan_cycles(6, 4), 4u * 7u + 6u);
+  EXPECT_EQ(scan_cycles(14, 3), 3u * 15u + 14u);
+  EXPECT_EQ(scan_cycles(0, 10), 0u);
+  EXPECT_EQ(scan_cycles(10, 0), 0u);
+}
+
+TEST(TimeModel, ConfigFormulas) {
+  EXPECT_EQ(configure_cycles(14), 15u);
+  EXPECT_EQ(wir_cycles(7), 22u);
+  EXPECT_EQ(cas_ir_bits(4, 2), 4u);   // Table 1 row
+  EXPECT_EQ(cas_ir_bits(8, 4), 11u);  // Table 1 row
+  // Session config = CAS IRs + update + wrapper ring.
+  EXPECT_EQ(session_config_cycles({{4, 2}, {4, 1}}, 2),
+            (4u + 3u + 1u) + (3u * 2u + 1u));
+}
+
+TEST(Balance, RoundRobinIsOrderSensitive) {
+  const std::vector<ChainItem> items = {
+      {0, 0, 100}, {0, 1, 1}, {1, 0, 100}, {1, 1, 1}};
+  const Balance rr = assign_round_robin(items, 2);
+  // Round-robin puts both 100s on wire 0.
+  EXPECT_EQ(rr.max_load(), 200u);
+  const Balance lpt = assign_lpt(items, 2);
+  EXPECT_EQ(lpt.max_load(), 101u);
+}
+
+TEST(Balance, LptNeverWorseThanRoundRobinOnRandomInstances) {
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<ChainItem> items;
+    const std::size_t n = 3 + rng.below(12);
+    for (std::size_t i = 0; i < n; ++i)
+      items.push_back(ChainItem{i, 0, 1 + rng.below(200)});
+    const auto wires = static_cast<unsigned>(1 + rng.below(6));
+    const Balance rr = assign_round_robin(items, wires);
+    const Balance lpt = assign_lpt(items, wires);
+    const Balance ref = assign_lpt_refined(items, wires);
+    EXPECT_LE(lpt.max_load(), rr.max_load()) << "trial " << trial;
+    EXPECT_LE(ref.max_load(), lpt.max_load()) << "trial " << trial;
+    EXPECT_GE(ref.max_load(), balance_lower_bound(items, wires));
+  }
+}
+
+TEST(Balance, LptWithinClassicalApproximationBound) {
+  // LPT is a (4/3 - 1/3m)-approximation; check against the lower bound.
+  Rng rng(13);
+  for (int trial = 0; trial < 30; ++trial) {
+    std::vector<ChainItem> items;
+    const std::size_t n = 5 + rng.below(15);
+    for (std::size_t i = 0; i < n; ++i)
+      items.push_back(ChainItem{i, 0, 1 + rng.below(64)});
+    const unsigned wires = 4;
+    const Balance lpt = assign_lpt(items, wires);
+    const std::size_t lb = balance_lower_bound(items, wires);
+    EXPECT_LE(3 * lpt.max_load(), 4 * lb + 3)
+        << "trial " << trial << ": LPT exceeded 4/3 bound";
+  }
+}
+
+TEST(Balance, LoadsAccountEveryItem) {
+  const std::vector<ChainItem> items = {{0, 0, 7}, {0, 1, 9}, {1, 0, 3}};
+  for (const Balance& b :
+       {assign_round_robin(items, 2), assign_lpt(items, 2),
+        assign_lpt_refined(items, 2)}) {
+    std::size_t total = 0;
+    for (const std::size_t l : b.wire_load) total += l;
+    EXPECT_EQ(total, 19u);
+    ASSERT_EQ(b.wire_of_item.size(), items.size());
+    for (const unsigned w : b.wire_of_item) EXPECT_LT(w, 2u);
+  }
+}
+
+std::vector<CoreTestSpec> demo_cores() {
+  std::vector<CoreTestSpec> cores;
+  cores.push_back(CoreTestSpec{"cpu", {120, 110, 95, 80}, 220, 0});
+  cores.push_back(CoreTestSpec{"dsp", {60, 60}, 180, 0});
+  cores.push_back(CoreTestSpec{"io", {30}, 40, 0});
+  cores.push_back(CoreTestSpec{"mpeg", {90, 85, 70}, 150, 0});
+  cores.push_back(CoreTestSpec{"bist1", {}, 0, 4000});
+  cores.push_back(CoreTestSpec{"ram", {}, 0, 2560});
+  return cores;
+}
+
+TEST(Scheduler, SchedulesCoverEveryCoreExactlyOnce) {
+  SessionScheduler s(demo_cores(), 6);
+  for (const Schedule& sched :
+       {s.single_session(), s.per_core_sessions(), s.greedy()}) {
+    std::vector<int> seen(6, 0);
+    for (const auto& session : sched.sessions) {
+      for (const std::size_t c : session.scan_cores) ++seen[c];
+      for (const std::size_t c : session.bist_cores) ++seen[c];
+    }
+    for (int i = 0; i < 6; ++i) EXPECT_EQ(seen[i], 1) << "core " << i;
+    EXPECT_GT(sched.total_cycles, 0u);
+  }
+}
+
+TEST(Scheduler, GreedyBeatsOrMatchesPerCore) {
+  SessionScheduler s(demo_cores(), 6);
+  EXPECT_LE(s.greedy().total_cycles, s.per_core_sessions().total_cycles);
+}
+
+TEST(Scheduler, PhasedCoversEveryCoreOnce) {
+  SessionScheduler s(demo_cores(), 6);
+  const Schedule phased = s.phased();
+  std::vector<int> seen(6, 0);
+  for (const auto& session : phased.sessions) {
+    for (const std::size_t c : session.bist_cores) ++seen[c];
+  }
+  // Scan cores appear in several phases (progressive retirement), but each
+  // must be present in the first phase and absent after its own budget.
+  std::vector<bool> in_first(6, false);
+  for (const std::size_t c : phased.sessions[0].scan_cores)
+    in_first[c] = true;
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(in_first[i]) << "core " << i;
+  for (int i = 4; i < 6; ++i) EXPECT_EQ(seen[i], 1) << "bist core " << i;
+}
+
+TEST(Scheduler, PhasedBeatsGreedyOnHeterogeneousSocs) {
+  // On SoCs with many distinct pattern budgets, progressive retirement
+  // rebalances the freed wires; grouped schedules cannot. (The margin is
+  // instance-dependent; this reference instance shows a clear win.)
+  std::vector<CoreTestSpec> cores = {
+      CoreTestSpec{"cpu", {128, 121, 115, 96}, 256, 0},
+      CoreTestSpec{"dsp", {84, 80, 77}, 192, 0},
+      CoreTestSpec{"mpeg", {140, 133}, 210, 0},
+      CoreTestSpec{"usb", {42, 40}, 96, 0},
+      CoreTestSpec{"uart", {24}, 48, 0},
+      CoreTestSpec{"gpio", {16}, 32, 0},
+      CoreTestSpec{"crypto", {96, 90, 88, 85}, 300, 0},
+  };
+  SessionScheduler s(cores, 12);
+  EXPECT_LT(s.phased().total_cycles, s.greedy().total_cycles);
+  EXPECT_LE(s.best().total_cycles, s.phased().total_cycles);
+}
+
+TEST(Scheduler, RailEmulationParallelismAndValidation) {
+  SessionScheduler s(demo_cores(), 8);
+  // More rails -> more cross-core parallelism on this instance.
+  EXPECT_LE(s.rail_emulation(4).total_cycles,
+            s.rail_emulation(1).total_cycles);
+  EXPECT_THROW((void)s.rail_emulation(0), PreconditionError);
+  EXPECT_THROW((void)s.rail_emulation(9), PreconditionError);
+  // A rail plan is a valid schedule: every core accounted once.
+  const Schedule sched = s.rail_emulation(3);
+  ASSERT_EQ(sched.sessions.size(), 1u);
+  EXPECT_EQ(sched.sessions[0].scan_cores.size() +
+                sched.sessions[0].bist_cores.size(),
+            demo_cores().size());
+}
+
+TEST(Scheduler, PhasedPatternAccountingIsExact) {
+  // Sum of per-phase pattern deltas must equal each core's budget: verify
+  // via total scan cycles of a hand-checkable instance.
+  std::vector<CoreTestSpec> cores;
+  cores.push_back(CoreTestSpec{"a", {10}, 4, 0});
+  cores.push_back(CoreTestSpec{"b", {10}, 10, 0});
+  SessionScheduler s(cores, 2);
+  const Schedule phased = s.phased();
+  // Phase 1: both cores, 1 chain each on its own wire, load 10, 4 patterns
+  // -> 4*11 + 10. Phase 2: core b alone, load 10, 6 patterns -> 6*11 + 10.
+  ASSERT_EQ(phased.sessions.size(), 2u);
+  EXPECT_EQ(phased.sessions[0].scan_cycles, 4u * 11u + 10u);
+  EXPECT_EQ(phased.sessions[1].scan_cycles, 6u * 11u + 10u);
+}
+
+TEST(Scheduler, BestIsMinimumOfAllStrategies) {
+  SessionScheduler s(demo_cores(), 6);
+  const std::uint64_t best = s.best().total_cycles;
+  EXPECT_LE(best, s.single_session().total_cycles);
+  EXPECT_LE(best, s.per_core_sessions().total_cycles);
+  EXPECT_LE(best, s.greedy().total_cycles);
+  EXPECT_LE(best, s.phased().total_cycles);
+}
+
+TEST(Scheduler, NarrowBusForcesBistOverflowSessions) {
+  // 3 BIST cores on a 2-wire bus cannot share one configuration.
+  std::vector<CoreTestSpec> cores = {
+      CoreTestSpec{"s", {20}, 10, 0},
+      CoreTestSpec{"b1", {}, 0, 100},
+      CoreTestSpec{"b2", {}, 0, 100},
+      CoreTestSpec{"b3", {}, 0, 100},
+  };
+  SessionScheduler s(cores, 2);
+  for (const Schedule& sched : {s.single_session(), s.phased()}) {
+    std::vector<int> seen(4, 0);
+    for (const auto& session : sched.sessions) {
+      EXPECT_LE(session.bist_cores.size(), 2u);
+      for (const std::size_t c : session.bist_cores) ++seen[c];
+    }
+    for (int i = 1; i < 4; ++i) EXPECT_EQ(seen[i], 1) << "core " << i;
+  }
+}
+
+TEST(Scheduler, GreedyBeatsOrMatchesSingleSessionOnSkewedPatterns) {
+  // One core with huge pattern count + several small ones: a single
+  // session forces everyone through the big core's pattern budget.
+  std::vector<CoreTestSpec> cores;
+  cores.push_back(CoreTestSpec{"big", {200, 200}, 1000, 0});
+  cores.push_back(CoreTestSpec{"s1", {50}, 10, 0});
+  cores.push_back(CoreTestSpec{"s2", {40}, 10, 0});
+  cores.push_back(CoreTestSpec{"s3", {60}, 12, 0});
+  SessionScheduler s(cores, 4);
+  EXPECT_LE(s.greedy().total_cycles, s.single_session().total_cycles);
+}
+
+TEST(Scheduler, WiderBusNeverSlower) {
+  const auto cores = demo_cores();
+  std::uint64_t best = 0;
+  for (unsigned n = 2; n <= 12; ++n) {
+    SessionScheduler s(cores, n);
+    const std::uint64_t t = s.greedy().total_cycles;
+    // Allow tiny config-overhead growth: test time dominates.
+    if (n > 2) EXPECT_LE(t, best + 64) << "width " << n;
+    best = (n == 2) ? t : std::min(best, t);
+  }
+}
+
+TEST(Scheduler, SessionTimesAddUp) {
+  SessionScheduler s(demo_cores(), 4);
+  const Schedule sched = s.greedy();
+  std::uint64_t sum = 0;
+  for (const auto& session : sched.sessions) sum += session.total_cycles();
+  EXPECT_EQ(sum, sched.total_cycles);
+}
+
+TEST(Scheduler, RejectsEmptyAndInvalid) {
+  EXPECT_THROW(SessionScheduler({}, 4), PreconditionError);
+  EXPECT_THROW(SessionScheduler(demo_cores(), 0), PreconditionError);
+  std::vector<CoreTestSpec> bad = {{"empty", {}, 0, 0}};
+  EXPECT_THROW(SessionScheduler(bad, 4), PreconditionError);
+}
+
+TEST(WidthExplorer, TimeFallsAreaRisesAcrossWidths) {
+  const auto cores = demo_cores();
+  const auto points = explore_widths(cores, 2, 10);
+  ASSERT_EQ(points.size(), 9u);
+  // Test time: wide buses never slower (modulo small config overhead).
+  EXPECT_GT(points.front().test_cycles, points.back().test_cycles);
+  // Area: strictly growing with width.
+  for (std::size_t i = 1; i < points.size(); ++i) {
+    EXPECT_GT(points[i].cas_area_ge, points[i - 1].cas_area_ge)
+        << "width " << points[i].width;
+    EXPECT_GT(points[i].pass_transistor_ge,
+              points[i - 1].pass_transistor_ge);
+  }
+  // Pass-transistor implementation stays cheaper at the wide end (§3.3).
+  EXPECT_LT(points.back().pass_transistor_ge, points.back().cas_area_ge);
+}
+
+}  // namespace
+}  // namespace casbus::sched

@@ -1,0 +1,243 @@
+// Unit tests for src/util: BitVector, Rng, Logic4, Table, strings.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "util/bitvector.hpp"
+#include "util/error.hpp"
+#include "util/logic.hpp"
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace casbus {
+namespace {
+
+TEST(BitVector, DefaultIsEmpty) {
+  BitVector bv;
+  EXPECT_EQ(bv.size(), 0u);
+  EXPECT_TRUE(bv.empty());
+}
+
+TEST(BitVector, ConstructFilled) {
+  BitVector bv(70, true);
+  EXPECT_EQ(bv.size(), 70u);
+  EXPECT_EQ(bv.popcount(), 70u);
+  bv.fill(false);
+  EXPECT_EQ(bv.popcount(), 0u);
+}
+
+TEST(BitVector, SetGetAcrossWordBoundary) {
+  BitVector bv(130);
+  bv.set(0, true);
+  bv.set(63, true);
+  bv.set(64, true);
+  bv.set(129, true);
+  EXPECT_TRUE(bv.get(0));
+  EXPECT_TRUE(bv.get(63));
+  EXPECT_TRUE(bv.get(64));
+  EXPECT_TRUE(bv.get(129));
+  EXPECT_FALSE(bv.get(1));
+  EXPECT_EQ(bv.popcount(), 4u);
+}
+
+TEST(BitVector, GetOutOfRangeThrows) {
+  BitVector bv(8);
+  EXPECT_THROW((void)bv.get(8), PreconditionError);
+  EXPECT_THROW(bv.set(8, true), PreconditionError);
+}
+
+TEST(BitVector, FromStringAndToString) {
+  const BitVector bv = BitVector::from_string("1011_0010");
+  EXPECT_EQ(bv.size(), 8u);
+  EXPECT_EQ(bv.to_string(), "10110010");
+  EXPECT_TRUE(bv.get(0));
+  EXPECT_FALSE(bv.get(1));
+  EXPECT_THROW(BitVector::from_string("10x"), PreconditionError);
+}
+
+TEST(BitVector, FromUintRoundTrip) {
+  const BitVector bv = BitVector::from_uint(0xC5, 8);
+  EXPECT_EQ(bv.to_uint(), 0xC5u);
+  EXPECT_EQ(BitVector::from_uint(0xFFFF, 8).to_uint(), 0xFFu);
+}
+
+TEST(BitVector, ShiftInMovesTowardMsb) {
+  BitVector bv(3);
+  // shift sequence 1,0,1 -> register [1,0,1] reading stage0..2 = last-in
+  // first: stage0 = most recent bit.
+  EXPECT_FALSE(bv.shift_in(true));
+  EXPECT_FALSE(bv.shift_in(false));
+  EXPECT_FALSE(bv.shift_in(true));
+  EXPECT_EQ(bv.to_string(), "101");
+  // The first inserted 1 is now at the top; next shift pops it.
+  EXPECT_TRUE(bv.shift_in(false));
+}
+
+TEST(BitVector, ShiftInEmptyPassesThrough) {
+  BitVector bv;
+  EXPECT_TRUE(bv.shift_in(true));
+  EXPECT_FALSE(bv.shift_in(false));
+}
+
+TEST(BitVector, ShiftChainOf130BitsRoundTrips) {
+  // Property: shifting a 130-bit register 130 times reproduces the input
+  // stream in order.
+  Rng rng(7);
+  BitVector reg(130);
+  std::vector<bool> in;
+  for (int i = 0; i < 130; ++i) in.push_back(rng.coin());
+  for (bool b : in) reg.shift_in(b);
+  std::vector<bool> out;
+  for (int i = 0; i < 130; ++i) out.push_back(reg.shift_in(false));
+  EXPECT_EQ(in, out);
+}
+
+TEST(BitVector, XorAndEquality) {
+  BitVector a = BitVector::from_string("1100");
+  const BitVector b = BitVector::from_string("1010");
+  a ^= b;
+  EXPECT_EQ(a.to_string(), "0110");
+  EXPECT_NE(a, b);
+  a ^= a;
+  EXPECT_EQ(a, BitVector(4));
+  BitVector c(3);
+  EXPECT_THROW(c ^= b, PreconditionError);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.below(17), 17u);
+  EXPECT_THROW((void)rng.below(0), PreconditionError);
+}
+
+TEST(Rng, BelowCoversRange) {
+  Rng rng(5);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(9);
+  for (int i = 0; i < 200; ++i) {
+    const auto v = rng.range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(Rng, CoinBiasRoughlyHonored) {
+  Rng rng(11);
+  int heads = 0;
+  for (int i = 0; i < 10000; ++i)
+    if (rng.coin(0.25)) ++heads;
+  EXPECT_GT(heads, 2000);
+  EXPECT_LT(heads, 3000);
+}
+
+TEST(Logic4, BasicPredicates) {
+  EXPECT_TRUE(is01(Logic4::Zero));
+  EXPECT_TRUE(is01(Logic4::One));
+  EXPECT_FALSE(is01(Logic4::Z));
+  EXPECT_FALSE(is01(Logic4::X));
+  EXPECT_EQ(to_logic(true), Logic4::One);
+  EXPECT_THROW(to_bool(Logic4::Z), PreconditionError);
+}
+
+TEST(Logic4, AndOrTruthTables) {
+  EXPECT_EQ(logic_and(Logic4::Zero, Logic4::X), Logic4::Zero);
+  EXPECT_EQ(logic_and(Logic4::One, Logic4::X), Logic4::X);
+  EXPECT_EQ(logic_and(Logic4::One, Logic4::One), Logic4::One);
+  EXPECT_EQ(logic_or(Logic4::One, Logic4::X), Logic4::One);
+  EXPECT_EQ(logic_or(Logic4::Zero, Logic4::X), Logic4::X);
+  EXPECT_EQ(logic_or(Logic4::Zero, Logic4::Zero), Logic4::Zero);
+}
+
+TEST(Logic4, NotXorMux) {
+  EXPECT_EQ(logic_not(Logic4::Zero), Logic4::One);
+  EXPECT_EQ(logic_not(Logic4::Z), Logic4::X);
+  EXPECT_EQ(logic_xor(Logic4::One, Logic4::Zero), Logic4::One);
+  EXPECT_EQ(logic_xor(Logic4::One, Logic4::Z), Logic4::X);
+  EXPECT_EQ(logic_mux(Logic4::Zero, Logic4::One, Logic4::Zero), Logic4::One);
+  EXPECT_EQ(logic_mux(Logic4::One, Logic4::One, Logic4::Zero), Logic4::Zero);
+  EXPECT_EQ(logic_mux(Logic4::X, Logic4::One, Logic4::One), Logic4::One);
+  EXPECT_EQ(logic_mux(Logic4::X, Logic4::One, Logic4::Zero), Logic4::X);
+}
+
+TEST(Logic4, TribufAndResolution) {
+  EXPECT_EQ(logic_tribuf(Logic4::Zero, Logic4::One), Logic4::Z);
+  EXPECT_EQ(logic_tribuf(Logic4::One, Logic4::One), Logic4::One);
+  EXPECT_EQ(logic_tribuf(Logic4::X, Logic4::One), Logic4::X);
+  EXPECT_EQ(resolve(Logic4::Z, Logic4::One), Logic4::One);
+  EXPECT_EQ(resolve(Logic4::Zero, Logic4::Z), Logic4::Zero);
+  EXPECT_EQ(resolve(Logic4::Zero, Logic4::One), Logic4::X);
+  EXPECT_EQ(resolve(Logic4::Z, Logic4::Z), Logic4::Z);
+}
+
+TEST(Logic4, CharConversionRoundTrip) {
+  for (const Logic4 v :
+       {Logic4::Zero, Logic4::One, Logic4::Z, Logic4::X}) {
+    EXPECT_EQ(logic_from_char(to_char(v)), v);
+  }
+  EXPECT_THROW(logic_from_char('q'), PreconditionError);
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"N", "P", "gates"});
+  t.add_row({"3", "1", "16"});
+  t.add_row({"8", "4", "4400"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("| N | P | gates |"), std::string::npos);
+  EXPECT_NE(s.find("4400"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsRaggedRows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), PreconditionError);
+}
+
+TEST(Strings, JoinAndPad) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(pad_left("7", 3), "  7");
+  EXPECT_EQ(pad_right("ab", 4), "ab  ");
+  EXPECT_EQ(format_double(3.14159, 2), "3.14");
+}
+
+TEST(Strings, IsIdentifier) {
+  EXPECT_TRUE(is_identifier("cas_n4_p2"));
+  EXPECT_FALSE(is_identifier("4cas"));
+  EXPECT_FALSE(is_identifier("a-b"));
+  EXPECT_FALSE(is_identifier(""));
+}
+
+TEST(Errors, MacroThrowsWithContext) {
+  try {
+    CASBUS_REQUIRE(1 == 2, "math still works");
+    FAIL() << "should have thrown";
+  } catch (const PreconditionError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("1 == 2"), std::string::npos);
+    EXPECT_NE(msg.find("math still works"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace casbus
