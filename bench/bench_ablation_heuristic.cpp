@@ -40,6 +40,8 @@ int main() {
 
   banner("A1", "Ablation: the e_i->o_j => i_j->s_i routing heuristic");
 
+  JsonReporter rep("ablation_heuristic");
+
   Table table({"N", "P", "m (heuristic)", "k", "m (free routing)", "k free",
                "IR bits saved", "decoder size ratio"},
               {Align::Right, Align::Right, Align::Right, Align::Right,
@@ -61,6 +63,16 @@ int main() {
                    format_double(m_free, 0), std::to_string(k_free),
                    std::to_string(k_free - isa.k()),
                    format_double(decode_ratio, 1) + "x"});
+
+    const JsonReporter::Params pt = {{"n", std::to_string(n)},
+                                     {"p", std::to_string(p)}};
+    rep.record("heuristic", pt, "m", isa.m());
+    rep.record("heuristic", pt, "k", std::uint64_t{isa.k()});
+    rep.record("heuristic", pt, "m_free", m_free);
+    rep.record("heuristic", pt, "k_free", std::uint64_t{k_free});
+    rep.record("heuristic", pt, "ir_bits_saved",
+               std::uint64_t{k_free - isa.k()});
+    rep.record("heuristic", pt, "decoder_size_ratio", decode_ratio);
   }
   table.print(std::cout);
 
@@ -90,6 +102,9 @@ int main() {
     t2.add_row({std::to_string(n), std::to_string(p), std::to_string(a),
                 std::to_string(k_no), std::to_string(isa.k()),
                 std::to_string(isa.k() - k_no) + " bit(s)"});
+    rep.record("special_codes",
+               {{"n", std::to_string(n)}, {"p", std::to_string(p)}},
+               "k_cost_bits", std::uint64_t{isa.k() - k_no});
   }
   t2.print(std::cout);
   return 0;

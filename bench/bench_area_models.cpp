@@ -23,6 +23,7 @@ int main() {
   banner("C5", "CAS implementation styles: generic vs optimized vs "
                "pass-transistor");
 
+  JsonReporter rep("area_models");
   const netlist::AreaModel ge = netlist::AreaModel::typical();
   Table table({"N", "P", "m", "k", "generic GE", "optimized GE",
                "pass-tr GE", "winner"},
@@ -58,6 +59,13 @@ int main() {
          std::to_string(isa.k()),
          generic_ge < 0 ? "(>4096 codes)" : format_double(generic_ge, 0),
          format_double(opt_ge, 0), format_double(pt_ge, 0), winner});
+
+    const JsonReporter::Params pt = {{"n", std::to_string(n)},
+                                     {"p", std::to_string(p)}};
+    if (generic_ge >= 0) rep.record("implementation", pt, "generic_ge",
+                                    generic_ge);
+    rep.record("implementation", pt, "optimized_ge", opt_ge);
+    rep.record("implementation", pt, "pass_transistor_ge", pt_ge);
   }
   table.print(std::cout);
 

@@ -18,6 +18,7 @@ int main() {
 
   banner("C6", "CAS-BUS vs TestRail [4] vs direct mux access [5]");
 
+  JsonReporter rep("baselines");
   const auto cores = reference_soc_cores();
 
   Table table({"N", "TAM", "test cycles", "vs CAS-BUS", "TAM area (GE)",
@@ -49,6 +50,18 @@ int main() {
                    format_double(direct.area_ge, 0),
                    std::to_string(direct.sessions)});
     table.add_separator();
+
+    const auto emit = [&](const char* tam, const TamEvaluation& e) {
+      const JsonReporter::Params pt = {{"n", std::to_string(n)},
+                                       {"tam", tam}};
+      rep.record("tam_eval", pt, "test_cycles", e.test_cycles);
+      rep.record("tam_eval", pt, "area_ge", e.area_ge);
+      rep.record("tam_eval", pt, "sessions",
+                 static_cast<std::uint64_t>(e.sessions));
+    };
+    emit("casbus", cas);
+    emit("testrail", rail);
+    emit("direct_mux", direct);
   }
   table.print(std::cout);
 

@@ -25,6 +25,8 @@ int main() {
 
   banner("F1", "Figure 1 SoC: full test program over an 8-wire CAS-BUS");
 
+  JsonReporter rep("fig1_soc");
+
   const auto spec1 = small_spec(101, 2, 16, 64);  // CORE1: scan, 2 chains
   const auto spec2 = small_spec(102, 4, 20, 80);  // CORE2: scan, 4 chains
   const auto spec4 = small_spec(104, 1, 12, 48);  // CORE4: external, P=1
@@ -97,6 +99,15 @@ int main() {
                        format_double(100 * atpg2.coverage(), 1) + "% cov)",
                    "(same session)",
                    r.targets[1].mismatches == 0 ? "PASS" : "FAIL"});
+    rep.record("session", {{"session", "1"}, {"cores", "core1+core2"}},
+               "cycles", r.total_cycles());
+    rep.record("session", {{"session", "1"}, {"cores", "core1+core2"}},
+               "pass",
+               std::uint64_t{r.all_pass() ? 1u : 0u});
+    rep.record("session", {{"session", "1"}, {"cores", "core1"}},
+               "coverage", atpg1.coverage());
+    rep.record("session", {{"session", "1"}, {"cores", "core2"}},
+               "coverage", atpg2.coverage());
   }
 
   // --- Session 2: logic BIST of CORE3 --------------------------------------
@@ -105,6 +116,10 @@ int main() {
     table.add_row({"core3", "BIST (Fig 2b)", "256 cycles",
                    std::to_string(r.configure_cycles + r.test_cycles),
                    r.pass ? "PASS" : "FAIL"});
+    rep.record("session", {{"session", "2"}, {"cores", "core3"}}, "cycles",
+               r.configure_cycles + r.test_cycles);
+    rep.record("session", {{"session", "2"}, {"cores", "core3"}}, "pass",
+               std::uint64_t{r.pass ? 1u : 0u});
   }
 
   // --- Session 3: CORE4 via external source/sink (P = 1) -------------------
@@ -124,6 +139,10 @@ int main() {
     table.add_row({"core4", "external LFSR->MISR (Fig 2c)",
                    "24 pat on 1 wire", std::to_string(r.total_cycles()),
                    r.targets[0].mismatches == 0 ? "PASS" : "FAIL"});
+    rep.record("session", {{"session", "3"}, {"cores", "core4"}}, "cycles",
+               r.total_cycles());
+    rep.record("session", {{"session", "3"}, {"cores", "core4"}}, "pass",
+               std::uint64_t{r.all_pass() ? 1u : 0u});
   }
 
   // --- Session 4: MARCH C- on the embedded memory --------------------------
@@ -134,6 +153,10 @@ int main() {
                    std::to_string(ram.mbist_cycles()) + " cycles",
                    std::to_string(r.configure_cycles + r.test_cycles),
                    r.pass ? "PASS" : "FAIL"});
+    rep.record("session", {{"session", "4"}, {"cores", "core5"}}, "cycles",
+               r.configure_cycles + r.test_cycles);
+    rep.record("session", {{"session", "4"}, {"cores", "core5"}}, "pass",
+               std::uint64_t{r.pass ? 1u : 0u});
   }
 
   // --- Session 5: hierarchical core, both children in parallel -------------
@@ -153,6 +176,10 @@ int main() {
                    std::to_string(atpg_b.patterns.size()) + " pat",
                    "(same session)",
                    r.targets[1].mismatches == 0 ? "PASS" : "FAIL"});
+    rep.record("session", {{"session", "5"}, {"cores", "core6"}}, "cycles",
+               r.total_cycles());
+    rep.record("session", {{"session", "5"}, {"cores", "core6"}}, "pass",
+               std::uint64_t{r.all_pass() ? 1u : 0u});
   }
 
   // --- Session 6: system-bus interconnect EXTEST ----------------------------
@@ -163,10 +190,16 @@ int main() {
                        std::to_string(r.vectors) + " vec",
                    std::to_string(r.cycles),
                    r.all_pass() ? "PASS" : "FAIL"});
+    rep.record("session", {{"session", "6"}, {"cores", "system_bus"}},
+               "cycles", r.cycles);
+    rep.record("session", {{"session", "6"}, {"cores", "system_bus"}},
+               "pass", std::uint64_t{r.all_pass() ? 1u : 0u});
   }
 
   table.print(std::cout);
   std::cout << "\ntotal chip-level test program: " << tester.cycles()
             << " cycles\n";
+  rep.record("summary", {{"bus_width", "8"}}, "total_cycles",
+             tester.cycles());
   return 0;
 }

@@ -24,6 +24,8 @@ int main() {
 
   banner("F2", "Figure 2: the four supported core test types on one bus");
 
+  JsonReporter rep("fig2_test_types");
+
   Table table({"fig", "core type", "P", "bus use", "cycles", "predicted",
                "verdict"},
               {Align::Left, Align::Left, Align::Right, Align::Left,
@@ -58,6 +60,12 @@ int main() {
                    std::to_string(r.test_cycles),
                    std::to_string(predicted),
                    r.all_pass() ? "PASS" : "FAIL"});
+    rep.record("test_type", {{"fig", "2a"}, {"type", "scan"}}, "cycles",
+               r.test_cycles);
+    rep.record("test_type", {{"fig", "2a"}, {"type", "scan"}},
+               "predicted_cycles", predicted);
+    rep.record("test_type", {{"fig", "2a"}, {"type", "scan"}}, "pass",
+               std::uint64_t{r.all_pass() ? 1u : 0u});
   }
 
   // (b) BIST: start/verdict handshake on a single wire.
@@ -66,6 +74,12 @@ int main() {
     table.add_row({"2b", "BISTed", "1", "wire 4",
                    std::to_string(r.test_cycles), std::to_string(192 + 2),
                    r.pass ? "PASS" : "FAIL"});
+    rep.record("test_type", {{"fig", "2b"}, {"type", "bist"}}, "cycles",
+               r.test_cycles);
+    rep.record("test_type", {{"fig", "2b"}, {"type", "bist"}},
+               "predicted_cycles", std::uint64_t{192 + 2});
+    rep.record("test_type", {{"fig", "2b"}, {"type", "bist"}}, "pass",
+               std::uint64_t{r.pass ? 1u : 0u});
   }
 
   // (c) External source/sink: stimuli from an off-chip LFSR, responses
@@ -98,6 +112,13 @@ int main() {
                        ? "PASS (MISR sig " +
                              std::to_string(sink.signature()) + ")"
                        : "FAIL"});
+    rep.record("test_type", {{"fig", "2c"}, {"type", "external"}}, "cycles",
+               r.test_cycles);
+    rep.record("test_type", {{"fig", "2c"}, {"type", "external"}},
+               "predicted_cycles",
+               sched::scan_cycles(ext_spec.n_flipflops, patterns.size()));
+    rep.record("test_type", {{"fig", "2c"}, {"type", "external"}}, "pass",
+               std::uint64_t{r.all_pass() ? 1u : 0u});
   }
 
   // (d) Hierarchical: parent CAS P = 3 (child bus width); both children
@@ -115,6 +136,12 @@ int main() {
                    std::to_string(r.test_cycles),
                    std::to_string(sched::scan_cycles(8, 8)),
                    r.all_pass() ? "PASS" : "FAIL"});
+    rep.record("test_type", {{"fig", "2d"}, {"type", "hierarchical"}},
+               "cycles", r.test_cycles);
+    rep.record("test_type", {{"fig", "2d"}, {"type", "hierarchical"}},
+               "predicted_cycles", sched::scan_cycles(8, 8));
+    rep.record("test_type", {{"fig", "2d"}, {"type", "hierarchical"}},
+               "pass", std::uint64_t{r.all_pass() ? 1u : 0u});
   }
 
   table.print(std::cout);

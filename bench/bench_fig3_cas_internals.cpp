@@ -83,6 +83,8 @@ int main() {
   using namespace casbus::bench;
   banner("F3", "Figure 3: generated CAS internals and equivalence");
 
+  JsonReporter rep("fig3_cas_internals");
+
   Table table({"N", "P", "k", "IR FFs", "decode/switch cells", "tri-states",
                "depth", "VHDL lines", "equiv"},
               {Align::Right, Align::Right, Align::Right, Align::Right,
@@ -111,6 +113,19 @@ int main() {
                    std::to_string(probe.depth()),
                    std::to_string(vhdl_lines),
                    mism == 0 ? "OK" : ("MISMATCH x" + std::to_string(mism))});
+
+    const JsonReporter::Params pt = {{"n", std::to_string(n)},
+                                     {"p", std::to_string(p)}};
+    rep.record("cas_internals", pt, "k", std::uint64_t{gen.isa.k()});
+    rep.record("cas_internals", pt, "ir_ffs", std::uint64_t{ffs});
+    rep.record("cas_internals", pt, "decode_switch_cells",
+               std::uint64_t{comb});
+    rep.record("cas_internals", pt, "tristates", std::uint64_t{tri});
+    rep.record("cas_internals", pt, "depth", std::uint64_t{probe.depth()});
+    rep.record("cas_internals", pt, "vhdl_lines",
+               static_cast<std::uint64_t>(vhdl_lines));
+    rep.record("cas_internals", pt, "equivalence_mismatches",
+               std::uint64_t{mism});
   }
   table.print(std::cout);
   std::cout << "\nIR FFs = 2k (shift + update stages, Fig. 3); tri-states "

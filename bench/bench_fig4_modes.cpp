@@ -22,6 +22,8 @@ int main() {
 
   banner("F4", "Figure 4: CAS modes and the configure-once property");
 
+  JsonReporter rep("fig4_modes");
+
   // Mode demonstration on a small SoC.
   {
     Table table({"mode", "what happens", "cycles"},
@@ -48,6 +50,9 @@ int main() {
                    std::string("e_i -> s_i combinationally (") +
                        (transparent ? "verified" : "BROKEN") + ")",
                    "0"});
+    rep.record("mode", {{"mode", "configuration"}}, "cycles", cfg);
+    rep.record("mode", {{"mode", "bypass"}}, "transparent",
+               std::uint64_t{transparent ? 1u : 0u});
 
     tester.configure_bus(
         {soc->bus().cas(0).isa().encode(tam::SwitchScheme({0, 2}, 4))});
@@ -61,6 +66,7 @@ int main() {
                    "P=2 wires switched to the core, 8 patterns",
                    std::to_string(r.test_cycles)});
     table.print(std::cout);
+    rep.record("mode", {{"mode", "test"}}, "cycles", r.test_cycles);
   }
 
   // Configure-once: sweep CAS geometries (growing k); the per-session
@@ -78,6 +84,11 @@ int main() {
     sweep.add_row({std::to_string(n), std::to_string(p), std::to_string(k),
                    std::to_string(config), std::to_string(test),
                    format_double(static_cast<double>(test) / 16.0, 2)});
+    const JsonReporter::Params pt = {{"n", std::to_string(n)},
+                                     {"p", std::to_string(p)}};
+    rep.record("configure_once", pt, "ir_bits", std::uint64_t{k});
+    rep.record("configure_once", pt, "config_cycles", config);
+    rep.record("configure_once", pt, "test_cycles", test);
   }
   sweep.print(std::cout);
   std::cout << "\nk grows from 2 to 11 bits across the sweep; the test "

@@ -25,6 +25,8 @@ int main() {
 
   banner("C4", "Maintenance test: memory under test, system running");
 
+  JsonReporter rep("maintenance");
+
   auto soc = SocBuilder(4)
                  .add_memory_core("ram_maint", 32, 8)
                  .add_memory_core("ram_live", 32, 8)
@@ -74,6 +76,20 @@ int main() {
 
   const bool ok = r1.pass && !r2.pass && traffic.mismatches() == 0 &&
                   traffic.reads_checked() > 0;
+  rep.record("maintenance", {{"session", "1"}}, "cycles",
+             r1.configure_cycles + r1.test_cycles);
+  rep.record("maintenance", {{"session", "1"}}, "mbist_pass",
+             std::uint64_t{r1.pass ? 1u : 0u});
+  rep.record("maintenance", {{"session", "2"}, {"fault", "stuck_bit"}},
+             "cycles", r2.configure_cycles + r2.test_cycles);
+  rep.record("maintenance", {{"session", "2"}, {"fault", "stuck_bit"}},
+             "fault_caught", std::uint64_t{!r2.pass ? 1u : 0u});
+  rep.record("summary", {}, "traffic_reads_checked",
+             static_cast<std::uint64_t>(traffic.reads_checked()));
+  rep.record("summary", {}, "traffic_mismatches",
+             static_cast<std::uint64_t>(traffic.mismatches()));
+  rep.record("summary", {}, "claim_reproduced",
+             std::uint64_t{ok ? 1u : 0u});
   std::cout << "\nresult: " << (ok ? "CLAIM REPRODUCED" : "UNEXPECTED")
             << " — the memory was tested in-system twice (second run "
                "caught the injected stuck bit) while "

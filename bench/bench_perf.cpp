@@ -5,6 +5,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_util.hpp"
 #include "core/cas_generator.hpp"
 #include "core/test_bus.hpp"
 #include "netlist/gatesim.hpp"
@@ -161,6 +162,45 @@ void BM_Scheduler(benchmark::State& state) {
 }
 BENCHMARK(BM_Scheduler);
 
+/// Console reporter that additionally forwards every run into the shared
+/// JsonReporter, so bench_perf emits the same BENCH_<name>.json artifact
+/// as the plain experiment harnesses.
+class JsonForwardingReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonForwardingReporter(casbus::bench::JsonReporter& json)
+      : json_(json) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    benchmark::ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      // Aggregate rows (mean/median/stddev/cv under --benchmark_repetitions)
+      // have iterations == 0 and mixed units; record only measured runs.
+      if (run.run_type != Run::RT_Iteration) continue;
+      const casbus::bench::JsonReporter::Params params = {
+          {"iterations", std::to_string(run.iterations)}};
+      json_.record(run.benchmark_name(), params, "real_time_ns_per_iter",
+                   run.GetAdjustedRealTime());
+      json_.record(run.benchmark_name(), params, "cpu_time_ns_per_iter",
+                   run.GetAdjustedCPUTime());
+      for (const auto& [counter_name, counter] : run.counters)
+        json_.record(run.benchmark_name(), params,
+                     "counter_" + counter_name,
+                     static_cast<double>(counter.value));
+    }
+  }
+
+ private:
+  casbus::bench::JsonReporter& json_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  casbus::bench::JsonReporter json("perf");
+  JsonForwardingReporter reporter(json);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  return 0;
+}

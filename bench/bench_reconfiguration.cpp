@@ -22,6 +22,8 @@ int main() {
 
   banner("C3", "Static configuration vs dynamic reconfiguration");
 
+  JsonReporter rep("reconfiguration");
+
   // --- analytic comparison on the reference SoC across widths --------------
   {
     Table table({"N", "static", "per-core", "greedy", "phased",
@@ -43,6 +45,12 @@ int main() {
                                             static_cast<double>(stat)),
                          1) +
                "%"});
+      const JsonReporter::Params pt = {{"n", std::to_string(n)}};
+      rep.record("strategy", pt, "static_cycles", stat);
+      rep.record("strategy", pt, "per_core_cycles", per_core);
+      rep.record("strategy", pt, "greedy_cycles", greedy);
+      rep.record("strategy", pt, "phased_cycles", phased);
+      rep.record("strategy", pt, "best_cycles", best);
     }
     table.print(std::cout);
     std::cout
@@ -94,6 +102,18 @@ int main() {
                    std::to_string(r2.test_cycles),
                    r2.all_pass() ? "PASS" : "FAIL"});
     table.print(std::cout);
+    rep.record("cycle_accurate", {{"session", "1"}}, "configure_cycles",
+               r1.configure_cycles);
+    rep.record("cycle_accurate", {{"session", "1"}}, "test_cycles",
+               r1.test_cycles);
+    rep.record("cycle_accurate", {{"session", "1"}}, "pass",
+               std::uint64_t{r1.all_pass() ? 1u : 0u});
+    rep.record("cycle_accurate", {{"session", "2"}}, "configure_cycles",
+               r2.configure_cycles);
+    rep.record("cycle_accurate", {{"session", "2"}}, "test_cycles",
+               r2.test_cycles);
+    rep.record("cycle_accurate", {{"session", "2"}}, "pass",
+               std::uint64_t{r2.all_pass() ? 1u : 0u});
     std::cout << "\nSame silicon, two TAM shapes inside one test program — "
                "the switch schemes were reloaded through the wire-0 "
                "instruction chain between sessions.\n";
@@ -138,6 +158,12 @@ int main() {
                      std::to_string(exact.schedule.total_cycles),
                      std::to_string(greedy), gap(greedy),
                      std::to_string(best), gap(best)});
+      const JsonReporter::Params pt = {{"instance",
+                                        "rand" + std::to_string(t)}};
+      rep.record("heuristic_quality", pt, "optimal_cycles",
+                 exact.schedule.total_cycles);
+      rep.record("heuristic_quality", pt, "greedy_cycles", greedy);
+      rep.record("heuristic_quality", pt, "best_cycles", best);
     }
     table.print(std::cout);
     std::cout << "\n(best() may beat the partition optimum: rail emulation "

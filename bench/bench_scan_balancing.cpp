@@ -25,6 +25,8 @@ int main() {
 
   banner("C2", "Scan-chain balancing across bus wires");
 
+  JsonReporter rep("scan_balancing");
+
   // --- analytic sweep -------------------------------------------------------
   {
     Table table({"SoC", "wires", "chains", "naive max load", "LPT",
@@ -57,6 +59,21 @@ int main() {
                                             static_cast<double>(t_naive)),
                          1) +
                "%"});
+      const JsonReporter::Params pt = {
+          {"soc", "soc" + std::to_string(soc_id)},
+          {"wires", std::to_string(wires)},
+          {"chains", std::to_string(n_chains)}};
+      rep.record("balancing", pt, "naive_max_load",
+                 static_cast<std::uint64_t>(naive.max_load()));
+      rep.record("balancing", pt, "lpt_max_load",
+                 static_cast<std::uint64_t>(lpt.max_load()));
+      rep.record("balancing", pt, "refined_max_load",
+                 static_cast<std::uint64_t>(refined.max_load()));
+      rep.record("balancing", pt, "lower_bound",
+                 static_cast<std::uint64_t>(lb));
+      rep.record("balancing", pt, "time_saved_frac",
+                 1.0 - static_cast<double>(t_ref) /
+                           static_cast<double>(t_naive));
     }
     table.print(std::cout);
   }
@@ -113,6 +130,13 @@ int main() {
                      (r.all_pass() && r.test_cycles == predicted)
                          ? "PASS, model exact"
                          : "CHECK"});
+      const JsonReporter::Params pt = {
+          {"assignment", balanced ? "balanced" : "naive"}};
+      rep.record("cycle_accurate", pt, "predicted_cycles", predicted);
+      rep.record("cycle_accurate", pt, "measured_cycles", r.test_cycles);
+      rep.record("cycle_accurate", pt, "model_exact",
+                 std::uint64_t{
+                     r.all_pass() && r.test_cycles == predicted ? 1u : 0u});
     }
     table.print(std::cout);
   }

@@ -25,6 +25,7 @@ int main() {
 
   banner("T1", "Table 1: CAS synthesis results (paper vs this library)");
 
+  JsonReporter rep("table1");
   const netlist::AreaModel ge = netlist::AreaModel::typical();
   Table table({"N", "P", "m", "k", "m ok", "k ok", "cells raw",
                "cells opt", "GE opt", "GE w/o IR", "paper gates"});
@@ -58,6 +59,21 @@ int main() {
                    format_double(ge_total, 0),
                    format_double(ge_total - ge_ff, 0),
                    std::to_string(row.paper_gates)});
+
+    const JsonReporter::Params pt = {{"n", std::to_string(row.n)},
+                                     {"p", std::to_string(row.p)}};
+    rep.record("table1_row", pt, "m", isa.m());
+    rep.record("table1_row", pt, "k", std::uint64_t{isa.k()});
+    rep.record("table1_row", pt, "mk_match",
+               std::uint64_t{m_ok && k_ok ? 1u : 0u});
+    rep.record("table1_row", pt, "cells_raw",
+               std::uint64_t{raw.netlist.cell_count()});
+    rep.record("table1_row", pt, "cells_opt",
+               std::uint64_t{opt.netlist.cell_count()});
+    rep.record("table1_row", pt, "ge_opt", ge_total);
+    rep.record("table1_row", pt, "ge_opt_excl_ir", ge_total - ge_ff);
+    rep.record("table1_row", pt, "paper_gates",
+               std::uint64_t{row.paper_gates});
   }
   table.print(std::cout);
 
@@ -87,9 +103,13 @@ int main() {
       sxx += (xs[i] - mx) * (xs[i] - mx);
       syy += (ys[i] - my) * (ys[i] - my);
     }
+    const double corr = sxy / std::sqrt(sxx * syy);
     std::cout << "log-log correlation(paper gates, our GE) = "
-              << format_double(sxy / std::sqrt(sxx * syy), 3)
+              << format_double(corr, 3)
               << "  (1.0 = identical growth shape)\n";
+    rep.record("summary", {}, "all_mk_match",
+               std::uint64_t{all_mk_match ? 1u : 0u});
+    rep.record("summary", {}, "loglog_correlation", corr);
   }
   return 0;
 }

@@ -16,6 +16,7 @@ int main() {
 
   banner("C1", "Test time vs CAS-BUS overhead across bus widths");
 
+  JsonReporter rep("tradeoff_width");
   const auto cores = reference_soc_cores();
   const auto points = sched::explore_widths(cores, 1, 16);
 
@@ -45,8 +46,15 @@ int main() {
                    format_double(pt.cas_area_ge, 0),
                    format_double(pt.pass_transistor_ge, 0),
                    format_double(norm, 3)});
+    const JsonReporter::Params params = {{"n", std::to_string(pt.width)}};
+    rep.record("width_point", params, "test_cycles", pt.test_cycles);
+    rep.record("width_point", params, "cas_area_ge", pt.cas_area_ge);
+    rep.record("width_point", params, "pass_transistor_ge",
+               pt.pass_transistor_ge);
+    rep.record("width_point", params, "normalized_cost", norm);
   }
   table.print(std::cout);
+  rep.record("summary", {}, "knee_width", std::uint64_t{best_width});
   std::cout << "\nknee of the trade-off (equal-weight normalized cost): N = "
             << best_width
             << "\nshape: test time falls monotonically with N while CAS "

@@ -4,9 +4,14 @@
 
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <cstdio>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "sched/time_model.hpp"
@@ -69,5 +74,118 @@ inline tpg::SyntheticCoreSpec small_spec(std::uint64_t seed,
 inline void banner(const std::string& id, const std::string& title) {
   std::cout << "\n=== " << id << " — " << title << " ===\n\n";
 }
+
+/// Escapes a string for embedding in a JSON string literal.
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Machine-readable experiment output. Collects flat
+/// name/params/metric/value records and flushes them to
+/// `BENCH_<bench>.json` in the working directory when destroyed (RAII),
+/// so every bench run leaves a parseable artifact next to its
+/// human-readable stdout report.
+///
+/// Usage:
+///   JsonReporter rep("table1");
+///   rep.record("row", {{"n", "4"}, {"p", "2"}}, "ge_opt", 64.0);
+///   // flushed to BENCH_table1.json at end of main
+class JsonReporter {
+ public:
+  using Params = std::vector<std::pair<std::string, std::string>>;
+
+  explicit JsonReporter(std::string bench_name)
+      : bench_(std::move(bench_name)),
+        path_("BENCH_" + bench_ + ".json") {}
+
+  JsonReporter(const JsonReporter&) = delete;
+  JsonReporter& operator=(const JsonReporter&) = delete;
+
+  ~JsonReporter() { flush(); }
+
+  /// Appends one record; \p params tag the experimental point (bus width,
+  /// core, session, ...) and \p metric names the measured quantity.
+  void record(const std::string& name, const Params& params,
+              const std::string& metric, double value) {
+    records_.push_back(Record{name, params, metric, value});
+  }
+
+  /// Convenience overload for integer-valued metrics.
+  void record(const std::string& name, const Params& params,
+              const std::string& metric, std::uint64_t value) {
+    record(name, params, metric, static_cast<double>(value));
+  }
+
+  /// Path of the artifact this reporter writes.
+  const std::string& path() const { return path_; }
+
+  std::size_t size() const { return records_.size(); }
+
+  /// Writes the artifact. Idempotent — called automatically from the
+  /// destructor; call earlier to flush before a potentially aborting step.
+  void flush() const {
+    std::ofstream out(path_);
+    if (!out) {
+      std::cerr << "JsonReporter: cannot write " << path_ << "\n";
+      return;
+    }
+    out << "{\n"
+        << "  \"bench\": \"" << json_escape(bench_) << "\",\n"
+        << "  \"schema_version\": 1,\n"
+        << "  \"records\": [";
+    for (std::size_t i = 0; i < records_.size(); ++i) {
+      const Record& r = records_[i];
+      out << (i == 0 ? "" : ",") << "\n    {\"name\": \""
+          << json_escape(r.name) << "\", \"params\": {";
+      for (std::size_t j = 0; j < r.params.size(); ++j)
+        out << (j == 0 ? "" : ", ") << "\"" << json_escape(r.params[j].first)
+            << "\": \"" << json_escape(r.params[j].second) << "\"";
+      out << "}, \"metric\": \"" << json_escape(r.metric)
+          << "\", \"value\": " << format_json_number(r.value) << "}";
+    }
+    out << "\n  ]\n}\n";
+  }
+
+ private:
+  struct Record {
+    std::string name;
+    Params params;
+    std::string metric;
+    double value;
+  };
+
+  /// JSON has no NaN/Inf literals; non-finite values become null.
+  static std::string format_json_number(double v) {
+    if (!std::isfinite(v)) return "null";
+    std::ostringstream os;
+    os.precision(17);
+    os << v;
+    return os.str();
+  }
+
+  std::string bench_;
+  std::string path_;
+  std::vector<Record> records_;
+};
 
 }  // namespace casbus::bench

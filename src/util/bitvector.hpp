@@ -12,6 +12,21 @@
 
 #include "util/error.hpp"
 
+// The library requires C++20 (std::popcount, <bit>, defaulted operator==
+// in tpg/fault.hpp and soc/tester.hpp). Under C++17 six files fail with a
+// cascade of unrelated-looking errors; fail here with one clear message
+// instead. MSVC keeps __cplusplus at 199711L unless /Zc:__cplusplus is
+// set, so check _MSVC_LANG there.
+#if defined(_MSVC_LANG)
+#define CASBUS_CPLUSPLUS _MSVC_LANG
+#else
+#define CASBUS_CPLUSPLUS __cplusplus
+#endif
+static_assert(CASBUS_CPLUSPLUS >= 202002L,
+              "casbus requires C++20 — compile with -std=c++20 "
+              "(CMake: target_compile_features(... cxx_std_20))");
+#undef CASBUS_CPLUSPLUS
+
 namespace casbus {
 
 /// Dynamically sized vector of bits with LSB-first indexing.

@@ -142,7 +142,9 @@ TEST(InstructionSet, KGrowsMonotonicallyWithM) {
     for (unsigned p = 1; p <= n; ++p) {
       const InstructionSet isa(n, p);
       EXPECT_GE(1ULL << isa.k(), isa.m());
-      if (isa.k() > 0) EXPECT_LT(1ULL << (isa.k() - 1), isa.m());
+      if (isa.k() > 0) {
+        EXPECT_LT(1ULL << (isa.k() - 1), isa.m());
+      }
     }
   }
 }

@@ -227,7 +227,9 @@ TEST(Scheduler, WiderBusNeverSlower) {
     SessionScheduler s(cores, n);
     const std::uint64_t t = s.greedy().total_cycles;
     // Allow tiny config-overhead growth: test time dominates.
-    if (n > 2) EXPECT_LE(t, best + 64) << "width " << n;
+    if (n > 2) {
+      EXPECT_LE(t, best + 64) << "width " << n;
+    }
     best = (n == 2) ? t : std::min(best, t);
   }
 }

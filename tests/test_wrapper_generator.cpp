@@ -161,9 +161,10 @@ class WrapperEquivalence : public ::testing::TestWithParam<WrapCase> {
       EXPECT_EQ(gate_->output("wpo" + std::to_string(j)),
                 tam_.wpo[j]->get())
           << ctx << " wpo" << j;
-    if (has_bist_)
+    if (has_bist_) {
       EXPECT_EQ(gate_->output("bist_start"), core_.bist_start->get())
           << ctx << " bist_start";
+    }
   }
 
   void tick() {
