@@ -12,6 +12,7 @@
 #include "sched/time_model.hpp"
 #include "soc/soc.hpp"
 #include "soc/tester.hpp"
+#include "tpg/fault.hpp"
 #include "tpg/lfsr.hpp"
 #include "util/rng.hpp"
 #include "util/strings.hpp"
@@ -66,6 +67,28 @@ int main() {
                "predicted_cycles", predicted);
     rep.record("test_type", {{"fig", "2a"}, {"type", "scan"}}, "pass",
                std::uint64_t{r.all_pass() ? 1u : 0u});
+
+    // Stuck-at fault grade of the delivered patterns (bit-parallel, 64
+    // faults per word): what the scan session actually bought us.
+    const tpg::SyntheticCore ref = tpg::make_synthetic_core(scan_spec);
+    tpg::FaultSimulator fsim(ref.netlist);
+    fsim.pin_input("scan_en", false);
+    for (std::size_t i = 0; i < scan_spec.n_inputs; ++i)
+      fsim.pin_input("pi" + std::to_string(i), false);
+    for (std::size_t c = 0; c < scan_spec.n_chains; ++c)
+      fsim.pin_input("si" + std::to_string(c), false);
+    const auto faults = tpg::enumerate_faults(ref.netlist);
+    const auto grade = fsim.run(patterns, faults);
+    std::cout << "scan pattern fault grade: " << grade.detected << "/"
+              << grade.total_faults << " stuck-at faults ("
+              << 100.0 * grade.coverage() << "% coverage, 64-wide packed "
+              << "fault simulation)\n\n";
+    rep.record("fault_grade", {{"fig", "2a"}, {"type", "scan"}},
+               "total_faults", grade.total_faults);
+    rep.record("fault_grade", {{"fig", "2a"}, {"type", "scan"}},
+               "detected_faults", grade.detected);
+    rep.record("fault_grade", {{"fig", "2a"}, {"type", "scan"}}, "coverage",
+               grade.coverage());
   }
 
   // (b) BIST: start/verdict handshake on a single wire.

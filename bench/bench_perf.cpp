@@ -8,8 +8,10 @@
 #include "bench_util.hpp"
 #include "core/cas_generator.hpp"
 #include "core/test_bus.hpp"
+#include "netlist/faultsim.hpp"
 #include "netlist/gatesim.hpp"
 #include "netlist/opt.hpp"
+#include "netlist/packed_gatesim.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/simulation.hpp"
 #include "tpg/fault.hpp"
@@ -62,34 +64,92 @@ void BM_GateSimCas(benchmark::State& state) {
 }
 BENCHMARK(BM_GateSimCas)->Arg(4)->Arg(8)->Arg(16);
 
-/// Gate-level simulation of a synthetic core (per cycle).
-void BM_GateSimCore(benchmark::State& state) {
+/// The synthetic core shared by the scalar/packed simulation benchmarks,
+/// so their patterns/sec counters are directly comparable.
+tpg::SyntheticCore simcore_for(std::int64_t n_gates) {
   tpg::SyntheticCoreSpec spec;
   spec.n_inputs = 16;
   spec.n_outputs = 16;
   spec.n_flipflops = 64;
-  spec.n_gates = static_cast<std::size_t>(state.range(0));
+  spec.n_gates = static_cast<std::size_t>(n_gates);
   spec.n_chains = 4;
-  const tpg::SyntheticCore core = tpg::make_synthetic_core(spec);
+  return tpg::make_synthetic_core(spec);
+}
+
+/// Gate-level simulation of a synthetic core: one pattern per eval pass.
+void BM_GateSimCore(benchmark::State& state) {
+  const tpg::SyntheticCore core = simcore_for(state.range(0));
   netlist::GateSim sim(core.netlist);
   sim.reset();
   Rng rng(2);
   for (auto _ : state) {
-    for (std::size_t i = 0; i < spec.n_inputs; ++i)
+    for (std::size_t i = 0; i < core.spec.n_inputs; ++i)
       sim.set_input("pi" + std::to_string(i), rng.coin());
     sim.set_input("scan_en", false);
-    for (std::size_t c = 0; c < spec.n_chains; ++c)
+    for (std::size_t c = 0; c < core.spec.n_chains; ++c)
       sim.set_input("si" + std::to_string(c), false);
     sim.eval();
     sim.tick();
   }
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
                           state.range(0));
+  state.counters["patterns_per_sec"] =
+      benchmark::Counter(1.0, benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_GateSimCore)->Arg(256)->Arg(1024)->Arg(4096);
 
-/// Serial stuck-at fault simulation (pattern x fault grid).
+/// 64-wide bit-parallel simulation of the same core: 64 patterns per pass.
+/// patterns_per_sec here / patterns_per_sec of BM_GateSimCore at the same
+/// gate count is the word-level speedup (acceptance target: >= 10x).
+void BM_PackedGateSim(benchmark::State& state) {
+  const tpg::SyntheticCore core = simcore_for(state.range(0));
+  netlist::PackedGateSim sim(core.netlist);
+  sim.reset();
+  Rng rng(2);
+  for (auto _ : state) {
+    for (std::size_t i = 0; i < core.spec.n_inputs; ++i) {
+      // 64 random driven lanes per input: plane p1 = random, p0 = ~p1.
+      const std::uint64_t ones = rng.next();
+      sim.set_input_index(i, Logic64{~ones, ones});
+    }
+    sim.set_input("scan_en", Logic4::Zero);
+    for (std::size_t c = 0; c < core.spec.n_chains; ++c)
+      sim.set_input("si" + std::to_string(c), Logic4::Zero);
+    sim.eval();
+    sim.tick();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 64);
+  state.counters["patterns_per_sec"] =
+      benchmark::Counter(64.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_PackedGateSim)->Arg(256)->Arg(1024)->Arg(4096);
+
+/// Serial stuck-at fault simulation (pattern x fault grid), one faulty
+/// machine per eval pass — the pre-packed baseline.
 void BM_FaultSim(benchmark::State& state) {
+  tpg::SyntheticCoreSpec spec;
+  spec.n_inputs = 8;
+  spec.n_outputs = 8;
+  spec.n_flipflops = 16;
+  spec.n_gates = static_cast<std::size_t>(state.range(0));
+  const tpg::SyntheticCore core = tpg::make_synthetic_core(spec);
+  tpg::FaultSimulator fsim(core.netlist);
+  const auto faults = tpg::enumerate_faults(core.netlist);
+  Rng rng(3);
+  const auto patterns =
+      tpg::PatternSet::random(fsim.pattern_width(), 8, rng);
+  for (auto _ : state) {
+    const auto report = fsim.run_serial(patterns, faults);
+    benchmark::DoNotOptimize(report.detected);
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+}
+BENCHMARK(BM_FaultSim)->Arg(64)->Arg(256);
+
+/// Bit-parallel stuck-at fault simulation: 64 faults per machine word,
+/// same pattern x fault grid as BM_FaultSim.
+void BM_FaultSim64(benchmark::State& state) {
   tpg::SyntheticCoreSpec spec;
   spec.n_inputs = 8;
   spec.n_outputs = 8;
@@ -107,7 +167,7 @@ void BM_FaultSim(benchmark::State& state) {
   }
   state.counters["faults"] = static_cast<double>(faults.size());
 }
-BENCHMARK(BM_FaultSim)->Arg(64)->Arg(256);
+BENCHMARK(BM_FaultSim64)->Arg(64)->Arg(256);
 
 /// CAS generation + optimization cost.
 void BM_GenerateCas(benchmark::State& state) {

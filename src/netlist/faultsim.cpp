@@ -1,0 +1,127 @@
+#include "netlist/faultsim.hpp"
+
+#include <utility>
+
+namespace casbus::netlist {
+
+FaultSim::FaultSim(Netlist nl)
+    : FaultSim(std::make_shared<const LevelizedNetlist>(std::move(nl))) {}
+
+FaultSim::FaultSim(std::shared_ptr<const LevelizedNetlist> lev)
+    : sim_(std::move(lev)) {
+  set_observation(true, true);
+}
+
+void FaultSim::set_observation(bool outputs, bool dff_next_states) {
+  observe_outputs_ = outputs;
+  observe_dffs_ = dff_next_states;
+  obs_nets_.clear();
+  if (observe_outputs_)
+    for (const Port& p : design().outputs()) obs_nets_.push_back(p.net);
+  if (observe_dffs_)
+    for (const CellId id : sim_.levelized()->dff_cells())
+      obs_nets_.push_back(design().cell(id).in[0]);  // D pin = next state
+  good_valid_ = false;
+}
+
+void FaultSim::set_input_index(std::size_t index, Logic4 v) {
+  sim_.set_input_index(index, word_broadcast(v));
+  good_valid_ = false;
+}
+
+void FaultSim::set_dff_state(std::size_t i, Logic4 v) {
+  sim_.set_dff_state(i, v);
+  good_valid_ = false;
+}
+
+void FaultSim::ensure_good() {
+  if (good_valid_) return;
+  sim_.clear_forces();
+  sim_.eval();
+  good_.clear();
+  good_.reserve(obs_nets_.size());
+  for (const NetId n : obs_nets_) {
+    const Logic4 v = word_lane(sim_.net_value(n), 0);
+    good_.push_back(v == Logic4::Zero ? 0 : v == Logic4::One ? 1 : -1);
+  }
+  good_valid_ = true;
+}
+
+const std::vector<int>& FaultSim::good_response() {
+  ensure_good();
+  return good_;
+}
+
+std::uint64_t FaultSim::detect_batch(const StuckAtFault* faults,
+                                     std::size_t count) {
+  CASBUS_REQUIRE(count <= kBatch, "detect_batch: more than 64 faults");
+  if (count == 0) return 0;
+  ensure_good();
+
+  sim_.clear_forces();
+  for (std::size_t i = 0; i < count; ++i)
+    sim_.set_force(faults[i].net, to_logic(faults[i].stuck_one),
+                   std::uint64_t{1} << i);
+  sim_.eval();
+
+  const std::uint64_t live =
+      count == kBatch ? ~std::uint64_t{0} : (std::uint64_t{1} << count) - 1;
+  std::uint64_t detected = 0;
+  for (std::size_t k = 0; k < obs_nets_.size(); ++k) {
+    if (good_[k] < 0) continue;  // good machine undriven here
+    const Logic64 bad = sim_.net_value(obs_nets_[k]);
+    detected |= good_[k] == 0 ? word_is1(bad) : word_is0(bad);
+    if ((detected & live) == live) break;  // whole batch already caught
+  }
+  sim_.clear_forces();
+  return detected & live;
+}
+
+std::size_t FaultSim::detect_all(const std::vector<StuckAtFault>& faults,
+                                 std::vector<bool>& detected) {
+  CASBUS_REQUIRE(detected.size() == faults.size(),
+                 "detect_all: detected mask size mismatch");
+  std::size_t newly = 0;
+  StuckAtFault batch[kBatch];
+  std::size_t batch_idx[kBatch];
+  std::size_t n = 0;
+
+  const auto flush = [&] {
+    if (n == 0) return;
+    const std::uint64_t hit = detect_batch(batch, n);
+    for (std::size_t i = 0; i < n; ++i) {
+      if ((hit >> i) & 1ULL) {
+        detected[batch_idx[i]] = true;
+        ++newly;
+      }
+    }
+    n = 0;
+  };
+
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    if (detected[f]) continue;  // fault dropping
+    batch[n] = faults[f];
+    batch_idx[n] = f;
+    if (++n == kBatch) flush();
+  }
+  flush();
+  return newly;
+}
+
+std::vector<StuckAtFault> enumerate_stuck_at_faults(const Netlist& nl) {
+  std::vector<bool> constant(nl.net_count(), false);
+  for (const Cell& c : nl.cells())
+    if (c.kind == CellKind::Const0 || c.kind == CellKind::Const1)
+      constant[c.out] = true;
+
+  std::vector<StuckAtFault> faults;
+  faults.reserve(nl.net_count() * 2);
+  for (NetId n = 0; n < nl.net_count(); ++n) {
+    if (constant[n]) continue;
+    faults.push_back(StuckAtFault{n, false});
+    faults.push_back(StuckAtFault{n, true});
+  }
+  return faults;
+}
+
+}  // namespace casbus::netlist

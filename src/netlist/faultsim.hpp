@@ -1,0 +1,107 @@
+/// \file faultsim.hpp
+/// Bit-parallel single-stuck-at fault simulation core.
+///
+/// FaultSim grades stuck-at faults against a good-machine reference using
+/// PackedGateSim: one eval pass simulates up to 64 faulty machines, each in
+/// its own lane (single-bit lane-masked force on the faulty net), all
+/// driven by the same pattern. A fault is detected when any observation
+/// point is driven in both machines and differs — the same criterion as the
+/// serial simulator in tpg/fault.cpp, which this replaces on the hot path.
+///
+/// The class is deliberately below the tpg layer: it knows nothing about
+/// pattern sets, pinning or scan; callers (tpg::FaultSimulator, examples,
+/// benches) assemble the per-pattern input/flip-flop assignment and hand
+/// batches of faults down.
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "netlist/levelize.hpp"
+#include "netlist/netlist.hpp"
+#include "netlist/packed_gatesim.hpp"
+#include "util/logic.hpp"
+
+namespace casbus::netlist {
+
+/// One single stuck-at fault: \p net permanently at \p stuck_one.
+struct StuckAtFault {
+  NetId net = kNoNet;
+  bool stuck_one = false;
+
+  friend bool operator==(const StuckAtFault&, const StuckAtFault&) = default;
+};
+
+/// Parallel-pattern-single-fault engine: 64 faulty machines per pass.
+class FaultSim {
+ public:
+  /// Faults simulated per packed eval pass.
+  static constexpr std::size_t kBatch = PackedGateSim::kLanes;
+
+  explicit FaultSim(Netlist nl);
+  explicit FaultSim(std::shared_ptr<const LevelizedNetlist> lev);
+
+  [[nodiscard]] const Netlist& design() const noexcept {
+    return sim_.design();
+  }
+  [[nodiscard]] const std::shared_ptr<const LevelizedNetlist>& levelized()
+      const noexcept {
+    return sim_.levelized();
+  }
+
+  /// Selects the observation points used for detection. Defaults to both:
+  /// primary outputs and flip-flop next-states (full-scan unload). A
+  /// scan-only campaign (no boundary EXTEST capture) disables outputs.
+  void set_observation(bool outputs, bool dff_next_states);
+
+  /// \name Per-pattern assignment
+  /// The assignment applies identically to all lanes; changing it
+  /// invalidates the cached good-machine response.
+  /// @{
+  void set_input_index(std::size_t index, Logic4 v);
+  void set_dff_state(std::size_t i, Logic4 v);
+  [[nodiscard]] std::size_t input_count() const noexcept {
+    return design().inputs().size();
+  }
+  [[nodiscard]] std::size_t dff_count() const noexcept {
+    return sim_.dff_count();
+  }
+  /// @}
+
+  /// Simulates up to kBatch faults (lane i carries faults[i]) under the
+  /// current assignment and returns a lane mask of detected faults.
+  /// The good machine is evaluated once per assignment and cached.
+  [[nodiscard]] std::uint64_t detect_batch(const StuckAtFault* faults,
+                                           std::size_t count);
+
+  /// Convenience over detect_batch: grades \p faults under the current
+  /// assignment, skipping (and never re-simulating) faults whose
+  /// \p detected flag is already set; newly detected faults are flagged.
+  /// Returns the number of new detections.
+  std::size_t detect_all(const std::vector<StuckAtFault>& faults,
+                         std::vector<bool>& detected);
+
+  /// Good-machine response values at the observation points for the
+  /// current assignment: 0, 1, or -1 for X/Z.
+  [[nodiscard]] const std::vector<int>& good_response();
+
+ private:
+  void ensure_good();
+
+  PackedGateSim sim_;
+  std::vector<NetId> obs_nets_;     // observation points, in response order
+  std::vector<int> good_;           // cached good response (-1 = undriven)
+  bool good_valid_ = false;
+  bool observe_outputs_ = true;
+  bool observe_dffs_ = true;
+};
+
+/// Enumerates the stuck-at-0/1 fault universe of \p nl: two faults per
+/// net, excluding nets driven by constant cells (untestable by
+/// construction). Mirrors tpg::enumerate_faults, at the netlist layer.
+[[nodiscard]] std::vector<StuckAtFault> enumerate_stuck_at_faults(
+    const Netlist& nl);
+
+}  // namespace casbus::netlist

@@ -1,112 +1,30 @@
 #include "netlist/gatesim.hpp"
 
-#include <queue>
-#include <sstream>
 #include <utility>
 
 namespace casbus::netlist {
 
-GateSim::GateSim(Netlist nl) : nl_(std::move(nl)) {
-  nl_.validate();
-  net_val_.assign(nl_.net_count(), Logic4::X);
-  cell_out_.assign(nl_.cell_count(), Logic4::X);
-  net_is_tri_.assign(nl_.net_count(), false);
-  input_val_.assign(nl_.inputs().size(), Logic4::X);
+GateSim::GateSim(Netlist nl)
+    : GateSim(std::make_shared<const LevelizedNetlist>(std::move(nl))) {}
 
-  for (std::size_t i = 0; i < nl_.inputs().size(); ++i)
-    input_index_.emplace(nl_.inputs()[i].name, i);
-  for (std::size_t i = 0; i < nl_.outputs().size(); ++i)
-    output_index_.emplace(nl_.outputs()[i].name, i);
-
-  for (const Cell& c : nl_.cells())
-    if (c.kind == CellKind::Tribuf) net_is_tri_[c.out] = true;
-
-  for (CellId id = 0; id < nl_.cell_count(); ++id)
-    if (is_sequential(nl_.cell(id).kind)) dff_cells_.push_back(id);
-  dff_state_.assign(dff_cells_.size(), Logic4::Zero);
-
-  levelize();
-}
-
-void GateSim::levelize() {
-  // Kahn's algorithm over combinational cells. A net is "ready" when all of
-  // its drivers have been evaluated; source nets (primary inputs, DFF
-  // outputs, undriven nets) are ready from the start.
-  const std::size_t n_nets = nl_.net_count();
-  std::vector<int> pending_drivers(n_nets, 0);
-  std::vector<std::vector<CellId>> readers(n_nets);
-  std::vector<int> cell_missing(nl_.cell_count(), 0);
-  std::vector<std::size_t> cell_level(nl_.cell_count(), 0);
-  std::vector<std::size_t> net_level(n_nets, 0);
-
-  for (CellId id = 0; id < nl_.cell_count(); ++id) {
-    const Cell& c = nl_.cell(id);
-    if (is_sequential(c.kind)) continue;  // DFF outputs are sources
-    ++pending_drivers[c.out];
-    const int n_in = fanin(c.kind);
-    for (int i = 0; i < n_in; ++i)
-      readers[c.in[static_cast<std::size_t>(i)]].push_back(id);
-  }
-  for (CellId id = 0; id < nl_.cell_count(); ++id) {
-    const Cell& c = nl_.cell(id);
-    if (is_sequential(c.kind)) continue;
-    int missing = 0;
-    const int n_in = fanin(c.kind);
-    for (int i = 0; i < n_in; ++i)
-      if (pending_drivers[c.in[static_cast<std::size_t>(i)]] > 0) ++missing;
-    cell_missing[id] = missing;
-  }
-
-  std::queue<CellId> ready;
-  for (CellId id = 0; id < nl_.cell_count(); ++id) {
-    const Cell& c = nl_.cell(id);
-    if (!is_sequential(c.kind) && cell_missing[id] == 0) ready.push(id);
-  }
-
-  comb_order_.clear();
-  while (!ready.empty()) {
-    const CellId id = ready.front();
-    ready.pop();
-    comb_order_.push_back(id);
-    const Cell& c = nl_.cell(id);
-    std::size_t lvl = 0;
-    const int n_in = fanin(c.kind);
-    for (int i = 0; i < n_in; ++i)
-      lvl = std::max(lvl, net_level[c.in[static_cast<std::size_t>(i)]]);
-    cell_level[id] = lvl + 1;
-    depth_ = std::max(depth_, cell_level[id]);
-
-    if (--pending_drivers[c.out] == 0) {
-      net_level[c.out] = std::max(net_level[c.out], cell_level[id]);
-      for (CellId r : readers[c.out])
-        if (--cell_missing[r] == 0) ready.push(r);
-    } else {
-      net_level[c.out] = std::max(net_level[c.out], cell_level[id]);
-    }
-  }
-
-  std::size_t comb_cells = 0;
-  for (const Cell& c : nl_.cells())
-    if (!is_sequential(c.kind)) ++comb_cells;
-  if (comb_order_.size() != comb_cells) {
-    std::ostringstream os;
-    os << "combinational cycle in netlist '" << nl_.name() << "': "
-       << (comb_cells - comb_order_.size()) << " cells unplaceable";
-    throw SimulationError(os.str());
-  }
+GateSim::GateSim(std::shared_ptr<const LevelizedNetlist> lev)
+    : lev_(std::move(lev)) {
+  CASBUS_REQUIRE(lev_ != nullptr, "GateSim: null levelized netlist");
+  net_val_.assign(nl().net_count(), Logic4::X);
+  cell_out_.assign(nl().cell_count(), Logic4::X);
+  input_val_.assign(nl().inputs().size(), Logic4::X);
+  dff_state_.assign(lev_->dff_cells().size(), Logic4::Zero);
 }
 
 void GateSim::reset(Logic4 state) {
-  dff_state_.assign(dff_cells_.size(), state);
-  input_val_.assign(nl_.inputs().size(), Logic4::X);
-  net_val_.assign(nl_.net_count(), Logic4::X);
-  cell_out_.assign(nl_.cell_count(), Logic4::X);
+  dff_state_.assign(lev_->dff_cells().size(), state);
+  input_val_.assign(nl().inputs().size(), Logic4::X);
+  net_val_.assign(nl().net_count(), Logic4::X);
+  cell_out_.assign(nl().cell_count(), Logic4::X);
 }
 
 void GateSim::set_input(const std::string& name, Logic4 v) {
-  const auto it = input_index_.find(name);
-  CASBUS_REQUIRE(it != input_index_.end(), "unknown primary input: " + name);
-  input_val_[it->second] = v;
+  input_val_[lev_->input_index(name)] = v;
 }
 
 void GateSim::set_input_index(std::size_t index, Logic4 v) {
@@ -142,24 +60,25 @@ void GateSim::eval() {
   // Seed source nets: primary inputs and DFF outputs; tri-state nets start
   // at Z and accumulate driver resolution; everything else gets X until its
   // single driver is evaluated.
+  const auto& dffs = lev_->dff_cells();
   for (NetId n = 0; n < net_val_.size(); ++n)
-    net_val_[n] = net_is_tri_[n] ? Logic4::Z : Logic4::X;
-  for (std::size_t i = 0; i < nl_.inputs().size(); ++i)
-    net_val_[nl_.inputs()[i].net] = input_val_[i];
-  for (std::size_t i = 0; i < dff_cells_.size(); ++i)
-    net_val_[nl_.cell(dff_cells_[i]).out] = dff_state_[i];
+    net_val_[n] = lev_->net_is_tri(n) ? Logic4::Z : Logic4::X;
+  for (std::size_t i = 0; i < nl().inputs().size(); ++i)
+    net_val_[nl().inputs()[i].net] = input_val_[i];
+  for (std::size_t i = 0; i < dffs.size(); ++i)
+    net_val_[nl().cell(dffs[i]).out] = dff_state_[i];
 
   if (has_forces()) {
     for (NetId n = 0; n < net_val_.size(); ++n)
       if (force_on_[n]) net_val_[n] = force_[n];
   }
 
-  for (const CellId id : comb_order_) {
-    const Cell& c = nl_.cell(id);
+  for (const CellId id : lev_->comb_order()) {
+    const Cell& c = nl().cell(id);
     const Logic4 v = eval_cell(c);
     cell_out_[id] = v;
     if (has_forces() && force_on_[c.out]) continue;  // stuck net stays stuck
-    if (net_is_tri_[c.out])
+    if (lev_->net_is_tri(c.out))
       net_val_[c.out] = resolve(net_val_[c.out], v);
     else
       net_val_[c.out] = v;
@@ -167,10 +86,10 @@ void GateSim::eval() {
 }
 
 void GateSim::set_force(NetId net, Logic4 v) {
-  CASBUS_REQUIRE(net < nl_.net_count(), "set_force: invalid net");
+  CASBUS_REQUIRE(net < nl().net_count(), "set_force: invalid net");
   if (force_on_.empty()) {
-    force_on_.assign(nl_.net_count(), false);
-    force_.assign(nl_.net_count(), Logic4::X);
+    force_on_.assign(nl().net_count(), false);
+    force_.assign(nl().net_count(), Logic4::X);
   }
   if (!force_on_[net]) ++n_forces_;
   force_on_[net] = true;
@@ -179,16 +98,17 @@ void GateSim::set_force(NetId net, Logic4 v) {
 
 void GateSim::clear_forces() {
   if (n_forces_ == 0) return;
-  force_on_.assign(nl_.net_count(), false);
+  force_on_.assign(nl().net_count(), false);
   n_forces_ = 0;
 }
 
 void GateSim::tick() {
   // Capture all D inputs simultaneously from the settled combinational
   // values, then re-evaluate.
-  std::vector<Logic4> next(dff_cells_.size());
-  for (std::size_t i = 0; i < dff_cells_.size(); ++i) {
-    const Cell& c = nl_.cell(dff_cells_[i]);
+  const auto& dffs = lev_->dff_cells();
+  std::vector<Logic4> next(dffs.size());
+  for (std::size_t i = 0; i < dffs.size(); ++i) {
+    const Cell& c = nl().cell(dffs[i]);
     const Logic4 d = net_val_[c.in[0]];
     if (c.kind == CellKind::Dff) {
       next[i] = is01(d) ? d : Logic4::X;
@@ -207,15 +127,12 @@ void GateSim::tick() {
 }
 
 Logic4 GateSim::output(const std::string& name) const {
-  const auto it = output_index_.find(name);
-  CASBUS_REQUIRE(it != output_index_.end(),
-                 "unknown primary output: " + name);
-  return net_val_[nl_.outputs()[it->second].net];
+  return net_val_[nl().outputs()[lev_->output_index(name)].net];
 }
 
 Logic4 GateSim::output_index(std::size_t index) const {
-  CASBUS_REQUIRE(index < nl_.outputs().size(), "output index out of range");
-  return net_val_[nl_.outputs()[index].net];
+  CASBUS_REQUIRE(index < nl().outputs().size(), "output index out of range");
+  return net_val_[nl().outputs()[index].net];
 }
 
 void GateSim::set_dff_state(std::size_t i, Logic4 v) {

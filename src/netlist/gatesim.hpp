@@ -6,14 +6,19 @@
 /// suffices), `tick()` is the rising clock edge updating every flip-flop.
 /// Tri-state nets (multiple Tribuf drivers) are resolved with the IEEE-1164
 /// rules from util/logic.hpp.
+///
+/// GateSim advances one pattern per eval pass; PackedGateSim
+/// (packed_gatesim.hpp) advances 64. Both share the levelization through
+/// LevelizedNetlist, so several simulators of the same design levelize once.
 
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
+#include "netlist/levelize.hpp"
 #include "netlist/netlist.hpp"
 #include "util/logic.hpp"
 
@@ -21,16 +26,26 @@ namespace casbus::netlist {
 
 /// Simulates one Netlist instance.
 ///
-/// The simulator owns a copy of the design (move it in to avoid the copy),
-/// so there is no lifetime coupling with the caller. Construction
-/// levelizes the design and throws SimulationError on combinational
-/// cycles.
+/// The simulator owns (a share of) the levelized design, so there is no
+/// lifetime coupling with the caller. Construction from a Netlist levelizes
+/// the design and throws SimulationError on combinational cycles.
 class GateSim {
  public:
   explicit GateSim(Netlist nl);
 
+  /// Shares an already-levelized design with other simulator instances.
+  explicit GateSim(std::shared_ptr<const LevelizedNetlist> lev);
+
   /// Returns the simulated design.
-  [[nodiscard]] const Netlist& design() const noexcept { return nl_; }
+  [[nodiscard]] const Netlist& design() const noexcept {
+    return lev_->netlist();
+  }
+
+  /// The shared evaluation schedule (reusable by further simulators).
+  [[nodiscard]] const std::shared_ptr<const LevelizedNetlist>& levelized()
+      const noexcept {
+    return lev_;
+  }
 
   /// Sets every flip-flop to \p state and every primary input to X.
   void reset(Logic4 state = Logic4::Zero);
@@ -61,7 +76,7 @@ class GateSim {
 
   /// Number of flip-flops, in cell order.
   [[nodiscard]] std::size_t dff_count() const noexcept {
-    return dff_cells_.size();
+    return lev_->dff_cells().size();
   }
   [[nodiscard]] Logic4 dff_state(std::size_t i) const {
     return dff_state_.at(i);
@@ -70,7 +85,7 @@ class GateSim {
 
   /// Combinational depth (max cell level) — reported by the generator
   /// benches as the switch's critical path in gate stages.
-  [[nodiscard]] std::size_t depth() const noexcept { return depth_; }
+  [[nodiscard]] std::size_t depth() const noexcept { return lev_->depth(); }
 
   // --- fault injection (used by tpg::FaultSimulator) ------------------------
 
@@ -83,24 +98,18 @@ class GateSim {
 
  private:
   [[nodiscard]] bool has_forces() const noexcept { return n_forces_ > 0; }
+  [[nodiscard]] const Netlist& nl() const noexcept { return lev_->netlist(); }
 
-  void levelize();
   Logic4 eval_cell(const Cell& c) const;
 
-  Netlist nl_;
+  std::shared_ptr<const LevelizedNetlist> lev_;
   std::vector<Logic4> net_val_;
   std::vector<Logic4> input_val_;
-  std::vector<CellId> comb_order_;   // levelized combinational cells
-  std::vector<CellId> dff_cells_;    // sequential cells, netlist order
   std::vector<Logic4> dff_state_;
   std::vector<Logic4> cell_out_;     // last computed output per cell
-  std::vector<bool> net_is_tri_;     // nets with >= 1 tribuf driver
-  std::unordered_map<std::string, std::size_t> input_index_;
-  std::unordered_map<std::string, std::size_t> output_index_;
   std::vector<Logic4> force_;      // per-net forced value
   std::vector<bool> force_on_;     // per-net force active flag
   std::size_t n_forces_ = 0;
-  std::size_t depth_ = 0;
 };
 
 }  // namespace casbus::netlist

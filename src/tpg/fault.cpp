@@ -5,34 +5,17 @@
 
 namespace casbus::tpg {
 
-using netlist::Cell;
 using netlist::CellId;
-using netlist::CellKind;
-using netlist::NetId;
 using netlist::Netlist;
 
 std::vector<Fault> enumerate_faults(const Netlist& nl) {
-  std::vector<bool> constant(nl.net_count(), false);
-  for (const Cell& c : nl.cells())
-    if (c.kind == CellKind::Const0 || c.kind == CellKind::Const1)
-      constant[c.out] = true;
-
-  std::vector<Fault> faults;
-  faults.reserve(nl.net_count() * 2);
-  for (NetId n = 0; n < nl.net_count(); ++n) {
-    if (constant[n]) continue;
-    faults.push_back(Fault{n, false});
-    faults.push_back(Fault{n, true});
-  }
-  return faults;
+  return netlist::enumerate_stuck_at_faults(nl);
 }
 
-FaultSimulator::FaultSimulator(Netlist nl) : sim_(std::move(nl)) {
-  const Netlist& design = sim_.design();
-  for (std::size_t i = 0; i < design.inputs().size(); ++i)
+FaultSimulator::FaultSimulator(Netlist nl)
+    : sim_(netlist::levelize(std::move(nl))), packed_(sim_.levelized()) {
+  for (std::size_t i = 0; i < sim_.design().inputs().size(); ++i)
     free_inputs_.push_back(i);
-  for (CellId id = 0; id < design.cell_count(); ++id)
-    if (netlist::is_sequential(design.cell(id).kind)) dffs_.push_back(id);
 }
 
 void FaultSimulator::pin_input(const std::string& name, bool value) {
@@ -48,11 +31,22 @@ void FaultSimulator::pin_input(const std::string& name, bool value) {
 }
 
 std::size_t FaultSimulator::pattern_width() const noexcept {
-  return free_inputs_.size() + dffs_.size();
+  return free_inputs_.size() + dffs().size();
 }
 
 std::size_t FaultSimulator::response_width() const noexcept {
-  return nl().outputs().size() + dffs_.size();
+  return nl().outputs().size() + dffs().size();
+}
+
+void FaultSimulator::apply_pattern(const BitVector& pattern) {
+  CASBUS_REQUIRE(pattern.size() == pattern_width(),
+                 "FaultSimulator: pattern width mismatch");
+  for (const auto& [idx, val] : pinned_)
+    packed_.set_input_index(idx, to_logic(val));
+  for (std::size_t i = 0; i < free_inputs_.size(); ++i)
+    packed_.set_input_index(free_inputs_[i], to_logic(pattern.get(i)));
+  for (std::size_t i = 0; i < dffs().size(); ++i)
+    packed_.set_dff_state(i, to_logic(pattern.get(free_inputs_.size() + i)));
 }
 
 std::vector<int> FaultSimulator::simulate(const BitVector& pattern,
@@ -67,7 +61,7 @@ std::vector<int> FaultSimulator::simulate(const BitVector& pattern,
     sim_.set_input_index(idx, to_logic(val));
   for (std::size_t i = 0; i < free_inputs_.size(); ++i)
     sim_.set_input_index(free_inputs_[i], to_logic(pattern.get(i)));
-  for (std::size_t i = 0; i < dffs_.size(); ++i)
+  for (std::size_t i = 0; i < dffs().size(); ++i)
     sim_.set_dff_state(i, to_logic(pattern.get(free_inputs_.size() + i)));
 
   sim_.eval();
@@ -80,7 +74,7 @@ std::vector<int> FaultSimulator::simulate(const BitVector& pattern,
   for (std::size_t i = 0; i < nl().outputs().size(); ++i)
     push(sim_.output_index(i));
   // Flip-flop next-states: the D pin values after settling.
-  for (const CellId id : dffs_) push(sim_.net_value(nl().cell(id).in[0]));
+  for (const CellId id : dffs()) push(sim_.net_value(nl().cell(id).in[0]));
   return response;
 }
 
@@ -92,15 +86,35 @@ BitVector FaultSimulator::good_response(const BitVector& pattern) {
 }
 
 bool FaultSimulator::detects(const BitVector& pattern, const Fault& fault) {
-  const std::vector<int> good = simulate(pattern, nullptr);
-  const std::vector<int> bad = simulate(pattern, &fault);
-  for (std::size_t i = 0; i < good.size(); ++i)
-    if (good[i] >= 0 && bad[i] >= 0 && good[i] != bad[i]) return true;
-  return false;
+  apply_pattern(pattern);
+  return packed_.detect_batch(&fault, 1) != 0;
+}
+
+std::size_t FaultSimulator::grade(const BitVector& pattern,
+                                  const std::vector<Fault>& faults,
+                                  std::vector<bool>& detected) {
+  apply_pattern(pattern);
+  return packed_.detect_all(faults, detected);
 }
 
 FaultSimReport FaultSimulator::run(const PatternSet& patterns,
                                    const std::vector<Fault>& faults) {
+  FaultSimReport report;
+  report.total_faults = faults.size();
+  report.detected_mask.assign(faults.size(), false);
+  report.per_pattern.assign(patterns.size(), 0);
+
+  for (std::size_t p = 0; p < patterns.size(); ++p) {
+    const std::size_t newly =
+        grade(patterns.at(p), faults, report.detected_mask);
+    report.per_pattern[p] = newly;
+    report.detected += newly;
+  }
+  return report;
+}
+
+FaultSimReport FaultSimulator::run_serial(const PatternSet& patterns,
+                                          const std::vector<Fault>& faults) {
   FaultSimReport report;
   report.total_faults = faults.size();
   report.detected_mask.assign(faults.size(), false);

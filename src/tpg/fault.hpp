@@ -5,6 +5,13 @@
 /// signing off a design to manufacturing" (§1); the examples and benches use
 /// this module to measure real stuck-at coverage of patterns delivered over
 /// the CAS-BUS.
+///
+/// Fault grading runs on the bit-parallel netlist::FaultSim engine: each
+/// levelized pass simulates 64 faulty machines at once, so a campaign costs
+/// ~(faults/64 + 1) evals per pattern instead of 2*faults. The pre-packed
+/// serial path is kept as run_serial() — it is the reference the
+/// equivalence tests and the BM_FaultSim/BM_FaultSim64 benchmark pair
+/// compare against.
 
 #pragma once
 
@@ -12,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "netlist/faultsim.hpp"
 #include "netlist/gatesim.hpp"
 #include "netlist/netlist.hpp"
 #include "tpg/patterns.hpp"
@@ -19,13 +27,10 @@
 
 namespace casbus::tpg {
 
-/// One single stuck-at fault: \p net permanently at \p stuck_one.
-struct Fault {
-  netlist::NetId net = netlist::kNoNet;
-  bool stuck_one = false;
-
-  friend bool operator==(const Fault&, const Fault&) = default;
-};
+/// One single stuck-at fault: `net` permanently at `stuck_one`. The tpg
+/// layer shares the netlist-layer fault type so campaigns flow into
+/// netlist::FaultSim without conversion.
+using Fault = netlist::StuckAtFault;
 
 /// Enumerates the stuck-at-0/1 fault universe of \p nl: two faults per net,
 /// excluding nets driven by constant cells (untestable by construction).
@@ -46,7 +51,7 @@ struct FaultSimReport {
   }
 };
 
-/// Serial single-stuck-at fault simulator assuming full scan: every DFF is
+/// Single-stuck-at fault simulator assuming full scan: every DFF is
 /// directly controllable/observable, so one "pattern" assigns all primary
 /// inputs plus all flip-flop states, and the "response" is all primary
 /// outputs plus all flip-flop next-states.
@@ -56,7 +61,8 @@ struct FaultSimReport {
 /// pin_input().
 class FaultSimulator {
  public:
-  /// Takes its own copy of the design (move in to avoid the copy).
+  /// Takes its own copy of the design (move in to avoid the copy); the
+  /// design is levelized once and shared by the scalar and packed engines.
   explicit FaultSimulator(netlist::Netlist nl);
 
   /// Holds input \p name at \p value for every simulation; that input is
@@ -76,21 +82,44 @@ class FaultSimulator {
   /// responses are both driven and differ in at least one bit).
   [[nodiscard]] bool detects(const BitVector& pattern, const Fault& fault);
 
-  /// Simulates \p patterns against \p faults with fault dropping.
+  /// Grades every not-yet-detected fault against one pattern, 64 faults
+  /// per packed pass; newly detected faults are flagged in \p detected.
+  /// Returns the number of new detections. This is the ATPG inner loop.
+  std::size_t grade(const BitVector& pattern,
+                    const std::vector<Fault>& faults,
+                    std::vector<bool>& detected);
+
+  /// Simulates \p patterns against \p faults with fault dropping
+  /// (bit-parallel: 64 faults per machine word).
   FaultSimReport run(const PatternSet& patterns,
                      const std::vector<Fault>& faults);
 
+  /// Reference implementation: one faulty machine at a time through the
+  /// scalar GateSim. Same report as run(); ~100x slower. Kept for the
+  /// equivalence tests and as the benchmark baseline.
+  FaultSimReport run_serial(const PatternSet& patterns,
+                            const std::vector<Fault>& faults);
+
  private:
+  /// Loads \p pattern into the packed engine (pinned + free inputs, DFFs).
+  void apply_pattern(const BitVector& pattern);
+
   /// Applies pattern, evals, returns response values (may contain X as -1).
-  std::vector<int> simulate(const BitVector& pattern, const Fault* fault);
+  std::vector<int> simulate(const BitVector& pattern,
+                            const Fault* fault);
 
   /// The simulated design (owned by the embedded simulator).
   [[nodiscard]] const netlist::Netlist& nl() const { return sim_.design(); }
 
-  netlist::GateSim sim_;
+  /// Sequential cells, in the shared levelization's canonical order.
+  [[nodiscard]] const std::vector<netlist::CellId>& dffs() const {
+    return sim_.levelized()->dff_cells();
+  }
+
+  netlist::GateSim sim_;        // scalar reference engine
+  netlist::FaultSim packed_;    // 64-wide campaign engine (shared netlist)
   std::vector<std::size_t> free_inputs_;  // indices into nl.inputs()
   std::vector<std::pair<std::size_t, bool>> pinned_;
-  std::vector<netlist::CellId> dffs_;
 };
 
 }  // namespace casbus::tpg

@@ -1,0 +1,161 @@
+/// \file logic_word.hpp
+/// Bit-parallel (64-lane) four-state logic words.
+///
+/// A Logic64 packs 64 independent Logic4 values into two 64-bit planes,
+/// so one machine-word operation advances 64 patterns (or 64 faulty
+/// machines) at once. The encoding is the classic "can-be" pair:
+///   - p0 bit set: the lane may be 0
+///   - p1 bit set: the lane may be 1
+/// which yields Zero = (1,0), One = (0,1), X = (1,1), Z = (0,0).
+///
+/// Every operator below is lane-wise equivalent to the scalar operator in
+/// util/logic.hpp (test_packed_sim.cpp checks all input combinations
+/// exhaustively); in particular wired-net resolution degenerates to a
+/// plain OR of the planes, which is why this encoding was chosen.
+
+#pragma once
+
+#include <cstdint>
+
+#include "util/logic.hpp"
+
+namespace casbus {
+
+/// 64 four-state logic values in two "can-be" bit planes.
+struct Logic64 {
+  std::uint64_t p0 = 0;  ///< lane may be 0
+  std::uint64_t p1 = 0;  ///< lane may be 1
+
+  friend bool operator==(const Logic64&, const Logic64&) = default;
+};
+
+/// All 64 lanes set to the same scalar value.
+constexpr Logic64 word_broadcast(Logic4 v) noexcept {
+  switch (v) {
+    case Logic4::Zero: return {~0ULL, 0ULL};
+    case Logic4::One: return {0ULL, ~0ULL};
+    case Logic4::Z: return {0ULL, 0ULL};
+    default: return {~0ULL, ~0ULL};
+  }
+}
+
+inline constexpr Logic64 kWordAllZero = {~0ULL, 0ULL};
+inline constexpr Logic64 kWordAllOne = {0ULL, ~0ULL};
+inline constexpr Logic64 kWordAllZ = {0ULL, 0ULL};
+inline constexpr Logic64 kWordAllX = {~0ULL, ~0ULL};
+
+/// Mask of lanes that are definitely Zero.
+constexpr std::uint64_t word_is0(Logic64 a) noexcept { return a.p0 & ~a.p1; }
+
+/// Mask of lanes that are definitely One.
+constexpr std::uint64_t word_is1(Logic64 a) noexcept { return a.p1 & ~a.p0; }
+
+/// Mask of lanes holding a driven 0 or 1.
+constexpr std::uint64_t word_is01(Logic64 a) noexcept { return a.p0 ^ a.p1; }
+
+/// Builds a word from disjoint "definitely 0" / "definitely 1" masks;
+/// lanes in neither mask become X.
+constexpr Logic64 word_from_masks(std::uint64_t zero,
+                                  std::uint64_t one) noexcept {
+  return {~one, ~zero};
+}
+
+/// Reads one lane back to a scalar.
+constexpr Logic4 word_lane(Logic64 a, unsigned lane) noexcept {
+  const bool b0 = (a.p0 >> lane) & 1ULL;
+  const bool b1 = (a.p1 >> lane) & 1ULL;
+  if (b0 && b1) return Logic4::X;
+  if (b0) return Logic4::Zero;
+  if (b1) return Logic4::One;
+  return Logic4::Z;
+}
+
+/// Overwrites one lane with a scalar value.
+constexpr Logic64 word_set_lane(Logic64 a, unsigned lane, Logic4 v) noexcept {
+  const std::uint64_t m = 1ULL << lane;
+  const Logic64 b = word_broadcast(v);
+  return {(a.p0 & ~m) | (b.p0 & m), (a.p1 & ~m) | (b.p1 & m)};
+}
+
+/// Lane-blend: lanes in \p mask come from \p b, the rest from \p a.
+constexpr Logic64 word_blend(Logic64 a, Logic64 b,
+                             std::uint64_t mask) noexcept {
+  return {(a.p0 & ~mask) | (b.p0 & mask), (a.p1 & ~mask) | (b.p1 & mask)};
+}
+
+/// Lane-wise logic_and: 0 dominates, X propagates (Z behaves as X).
+constexpr Logic64 word_and(Logic64 a, Logic64 b) noexcept {
+  const std::uint64_t zero = word_is0(a) | word_is0(b);
+  const std::uint64_t one = word_is1(a) & word_is1(b);
+  return word_from_masks(zero, one);
+}
+
+/// Lane-wise logic_or: 1 dominates, X propagates.
+constexpr Logic64 word_or(Logic64 a, Logic64 b) noexcept {
+  const std::uint64_t one = word_is1(a) | word_is1(b);
+  const std::uint64_t zero = word_is0(a) & word_is0(b);
+  return word_from_masks(zero, one);
+}
+
+/// Lane-wise logic_not (Z in becomes X out, as in the scalar operator).
+constexpr Logic64 word_not(Logic64 a) noexcept {
+  return word_from_masks(word_is1(a), word_is0(a));
+}
+
+/// Lane-wise logic_xor.
+constexpr Logic64 word_xor(Logic64 a, Logic64 b) noexcept {
+  const std::uint64_t a0 = word_is0(a), a1 = word_is1(a);
+  const std::uint64_t b0 = word_is0(b), b1 = word_is1(b);
+  return word_from_masks((a0 & b0) | (a1 & b1), (a0 & b1) | (a1 & b0));
+}
+
+/// Lane-wise logic_not(logic_xor(a, b)).
+constexpr Logic64 word_xnor(Logic64 a, Logic64 b) noexcept {
+  const std::uint64_t a0 = word_is0(a), a1 = word_is1(a);
+  const std::uint64_t b0 = word_is0(b), b1 = word_is1(b);
+  return word_from_masks((a0 & b1) | (a1 & b0), (a0 & b0) | (a1 & b1));
+}
+
+/// Lane-wise Buf cell semantics: driven values pass, X/Z become X.
+constexpr Logic64 word_buf(Logic64 a) noexcept {
+  return word_from_masks(word_is0(a), word_is1(a));
+}
+
+/// Lane-wise logic_mux(sel, a, b): a when sel = 0 (verbatim, Z included),
+/// b when sel = 1, else a/b agreement on a driven value or X.
+constexpr Logic64 word_mux(Logic64 sel, Logic64 a, Logic64 b) noexcept {
+  const std::uint64_t s0 = word_is0(sel);
+  const std::uint64_t s1 = word_is1(sel);
+  const std::uint64_t sx = ~(s0 | s1);
+  const std::uint64_t agree1 = word_is1(a) & word_is1(b);
+  const std::uint64_t agree0 = word_is0(a) & word_is0(b);
+  return {(s0 & a.p0) | (s1 & b.p0) | (sx & ~agree1),
+          (s0 & a.p1) | (s1 & b.p1) | (sx & ~agree0)};
+}
+
+/// Lane-wise logic_tribuf(en, d): Z when en = 0, driven d when en = 1,
+/// X otherwise.
+constexpr Logic64 word_tribuf(Logic64 en, Logic64 d) noexcept {
+  const std::uint64_t e1 = word_is1(en);
+  const std::uint64_t ex = ~(word_is0(en) | e1);
+  return {(e1 & ~word_is1(d)) | ex, (e1 & ~word_is0(d)) | ex};
+}
+
+/// Lane-wise wired-net resolution — in the "can-be" encoding this is the
+/// union of possible values, i.e. a plain OR of the planes.
+constexpr Logic64 word_resolve(Logic64 a, Logic64 b) noexcept {
+  return {a.p0 | b.p0, a.p1 | b.p1};
+}
+
+/// Lane-wise DFF capture rule: driven D is latched, X/Z latch X.
+constexpr Logic64 word_dff_capture(Logic64 d) noexcept {
+  return word_from_masks(word_is0(d), word_is1(d));
+}
+
+/// Mask of lanes where \p a and \p b are both driven and differ — the
+/// detection criterion of stuck-at fault simulation (good vs faulty).
+constexpr std::uint64_t word_diff01(Logic64 a, Logic64 b) noexcept {
+  return (word_is0(a) & word_is1(b)) | (word_is1(a) & word_is0(b));
+}
+
+}  // namespace casbus

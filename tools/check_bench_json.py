@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Validate BENCH_<name>.json artifacts written by bench::JsonReporter.
+
+Usage:
+    check_bench_json.py FILE [FILE ...]
+    check_bench_json.py --glob DIR      # validate every BENCH_*.json in DIR
+
+Each file must parse as JSON and carry a non-empty "records" array whose
+entries have the flat JsonReporter shape: name, params (str->str map),
+metric, and a numeric (or null, for non-finite) value. Exits non-zero and
+prints one line per problem on failure.
+
+Used by both the per-compiler "Bench artifact smoke" CI step and the
+bench-trajectory job, so the two can never drift apart.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+REQUIRED_TOP_KEYS = ("bench", "schema_version", "records")
+REQUIRED_RECORD_KEYS = ("name", "params", "metric", "value")
+
+
+def check_file(path: pathlib.Path) -> list[str]:
+    problems = []
+    try:
+        with path.open() as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: cannot parse: {exc}"]
+
+    for key in REQUIRED_TOP_KEYS:
+        if key not in doc:
+            problems.append(f"{path}: missing top-level key '{key}'")
+    records = doc.get("records")
+    if not isinstance(records, list) or not records:
+        problems.append(f"{path}: no records")
+        return problems
+
+    for i, rec in enumerate(records):
+        if not isinstance(rec, dict):
+            problems.append(f"{path}: record {i} is not an object")
+            continue
+        for key in REQUIRED_RECORD_KEYS:
+            if key not in rec:
+                problems.append(f"{path}: record {i} missing '{key}'")
+        if "value" in rec and not isinstance(rec["value"], (int, float, type(None))):
+            problems.append(f"{path}: record {i} value is not numeric/null")
+        if "params" in rec and not isinstance(rec["params"], dict):
+            problems.append(f"{path}: record {i} params is not an object")
+    return problems
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="*", type=pathlib.Path)
+    parser.add_argument(
+        "--glob",
+        type=pathlib.Path,
+        metavar="DIR",
+        help="validate every BENCH_*.json found in DIR",
+    )
+    args = parser.parse_args()
+
+    files = list(args.files)
+    if args.glob is not None:
+        files.extend(sorted(args.glob.glob("BENCH_*.json")))
+    if not files:
+        print("check_bench_json: no files to check", file=sys.stderr)
+        return 2
+
+    problems = []
+    for path in files:
+        problems.extend(check_file(path))
+    for problem in problems:
+        print(problem, file=sys.stderr)
+    if not problems:
+        names = ", ".join(p.name for p in files)
+        print(f"check_bench_json: {len(files)} artifact(s) OK: {names}")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
