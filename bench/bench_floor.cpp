@@ -1,0 +1,130 @@
+/// \file bench_floor.cpp
+/// Experiment FLOOR — test-floor service throughput scaling.
+///
+/// Streams one fixed, scenario-diverse batch of test programs (the default
+/// scan:4,bist:2,hier:1,maint:1 mix) through the TestFloor worker pool at
+/// 1, 2, 4, ... workers, reporting programs/sec and sim-cycles/sec per
+/// sweep point plus the speedup over the 1-worker baseline. Also checks
+/// the floor's determinism rule on the way: every sweep point must produce
+/// the same deterministic aggregate summary byte-for-byte.
+///
+/// CI gates on the 4-vs-1-worker speedup (> 1.8x on the >= 4-vCPU
+/// runners); on smaller machines the sweep still runs and records the
+/// honest (smaller) ratio.
+
+#include <algorithm>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "floor/job_factory.hpp"
+#include "floor/test_floor.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace casbus;
+  using namespace casbus::bench;
+  using namespace casbus::floor;
+
+  banner("FLOOR", "test-floor service: throughput vs worker count");
+  JsonReporter rep("floor");
+
+  constexpr std::uint64_t kSeed = 20000314;  // DATE 2000 vintage
+  constexpr std::size_t kJobs = 48;
+  const JobFactory factory(kSeed);
+  auto jobs = factory.make_jobs(kJobs);
+  // Heavier per-job simulation than the defaults, so queue/thread overhead
+  // is negligible against the cycle-accurate work.
+  for (JobSpec& job : jobs) job.patterns_per_ff = 2;
+
+  // Sweep 1 -> hardware concurrency, always including the 1/2/4 points the
+  // scaling gate reads (running 4 workers on fewer cores is still valid —
+  // the speedup is just honest about the hardware).
+  std::vector<std::size_t> sweep = {1, 2, 4};
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  for (std::size_t w = 8; w <= hw; w *= 2) sweep.push_back(w);
+  if (hw > 4 && std::find(sweep.begin(), sweep.end(), hw) == sweep.end())
+    sweep.push_back(hw);
+
+  Table table({"workers", "wall s", "programs/s", "Msim-cycles/s",
+               "speedup", "pass"},
+              {Align::Right, Align::Right, Align::Right, Align::Right,
+               Align::Right, Align::Right});
+
+  double base_pps = 0.0;
+  double speedup_at_4 = 0.0;
+  std::string reference_summary;
+  bool deterministic = true;
+  bool all_pass = true;
+
+  for (const std::size_t workers : sweep) {
+    const TestFloor floor(FloorConfig{workers});
+    const FloorReport report = floor.run(jobs);
+
+    const double pps = report.programs_per_sec();
+    if (workers == 1) base_pps = pps;
+    const double speedup = base_pps > 0.0 ? pps / base_pps : 0.0;
+    if (workers == 4) speedup_at_4 = speedup;
+
+    if (reference_summary.empty())
+      reference_summary = report.deterministic_summary();
+    else if (report.deterministic_summary() != reference_summary)
+      deterministic = false;
+    all_pass = all_pass && report.all_pass();
+
+    table.add_row({std::to_string(workers), format_double(report.wall_seconds, 3),
+                   format_double(pps, 1),
+                   format_double(report.sim_cycles_per_sec() / 1e6, 2),
+                   format_double(speedup, 2),
+                   std::to_string(report.total.passed) + "/" +
+                       std::to_string(report.total.jobs)});
+
+    const JsonReporter::Params params = {
+        {"workers", std::to_string(workers)},
+        {"jobs", std::to_string(kJobs)},
+        {"mix", "scan:4,bist:2,hier:1,maint:1"},
+        {"seed", std::to_string(kSeed)}};
+    rep.record("scaling", params, "wall_seconds", report.wall_seconds);
+    rep.record("scaling", params, "programs_per_sec", pps);
+    rep.record("scaling", params, "sim_cycles_per_sec",
+               report.sim_cycles_per_sec());
+    rep.record("scaling", params, "speedup_vs_1_worker", speedup);
+    rep.record("scaling", params, "jobs_passed",
+               static_cast<std::uint64_t>(report.total.passed));
+
+    // Per-scenario breakdown, recorded once (identical at every sweep
+    // point by the determinism rule, which is verified below).
+    if (workers == 1) {
+      for (std::size_t k = 0; k < kScenarioCount; ++k) {
+        const ScenarioStats& s = report.scenario[k];
+        if (s.jobs == 0) continue;
+        const JsonReporter::Params sp = {
+            {"scenario", scenario_name(static_cast<ScenarioKind>(k))},
+            {"seed", std::to_string(kSeed)}};
+        rep.record("scenario", sp, "jobs",
+                   static_cast<std::uint64_t>(s.jobs));
+        rep.record("scenario", sp, "passed",
+                   static_cast<std::uint64_t>(s.passed));
+        rep.record("scenario", sp, "sim_cycles", s.sim_cycles);
+        rep.record("scenario", sp, "worst_deviation", s.worst_deviation);
+      }
+    }
+  }
+
+  table.print(std::cout);
+  std::cout << "\nhardware threads: " << hw
+            << "\nspeedup at 4 workers: " << format_double(speedup_at_4, 2)
+            << "x\ndeterministic aggregates across worker counts: "
+            << (deterministic ? "yes" : "NO — BUG") << "\n";
+
+  rep.record("summary", {{"hardware_threads", std::to_string(hw)}},
+             "speedup_at_4_workers", speedup_at_4);
+  rep.record("summary", {{"hardware_threads", std::to_string(hw)}},
+             "deterministic_across_worker_counts",
+             std::uint64_t{deterministic ? 1u : 0u});
+
+  return deterministic && all_pass ? 0 : 1;
+}

@@ -1,0 +1,91 @@
+/// \file floor_service.cpp
+/// The SoC test floor as a service: generate a scenario-diverse batch of
+/// test jobs, stream them through a worker pool of cycle-accurate testers,
+/// and report verdicts, cycle deviation, and throughput.
+///
+///   floor_service [--workers N] [--jobs M] [--seed S]
+///                 [--scenario-mix scan:4,bist:2,hier:1,maint:1]
+///                 [--strategy single|per_core|greedy|phased]
+///                 [--patterns-per-ff K] [--summary]
+///
+/// --workers 0 (the default) uses one worker per hardware thread.
+/// --strategy forces one scheduling strategy onto every job (the factory
+/// otherwise mixes them). --summary additionally prints the deterministic
+/// aggregate summary — the text that is guaranteed byte-identical for any
+/// worker count at a fixed seed.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <string>
+
+#include "floor/job_factory.hpp"
+#include "floor/test_floor.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--workers N] [--jobs M] [--seed S]"
+               " [--scenario-mix scan:4,bist:2,hier:1,maint:1]"
+               " [--strategy single|per_core|greedy|phased]"
+               " [--patterns-per-ff K] [--summary]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace casbus::floor;
+
+  std::size_t workers = 0;
+  std::size_t jobs = 12;
+  std::uint64_t seed = 1;
+  std::size_t patterns_per_ff = 1;
+  ScenarioMix mix;
+  std::optional<casbus::sched::Strategy> strategy;
+  bool summary = false;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (arg == "--workers") workers = std::stoul(value());
+      else if (arg == "--jobs") jobs = std::stoul(value());
+      else if (arg == "--seed") seed = std::stoull(value());
+      else if (arg == "--scenario-mix") mix = parse_scenario_mix(value());
+      else if (arg == "--strategy")
+        strategy = casbus::sched::strategy_from_name(value());
+      else if (arg == "--patterns-per-ff")
+        patterns_per_ff = std::stoul(value());
+      else if (arg == "--summary") summary = true;
+      else usage(argv[0]);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bad arguments: " << e.what() << "\n";
+    usage(argv[0]);
+  }
+
+  const JobFactory factory(seed, mix);
+  auto specs = factory.make_jobs(jobs);
+  for (JobSpec& spec : specs) {
+    spec.patterns_per_ff = patterns_per_ff;
+    if (strategy) spec.strategy = *strategy;
+  }
+
+  const TestFloor floor(FloorConfig{workers});
+  std::cout << "test floor: " << jobs << " jobs, " << floor.workers()
+            << " worker(s), seed " << seed << "\n\n";
+
+  const FloorReport report = floor.run(specs);
+  report.print(std::cout);
+  if (summary) {
+    std::cout << "\ndeterministic summary (worker-count invariant):\n"
+              << report.deterministic_summary();
+  }
+  return report.all_pass() ? 0 : 1;
+}

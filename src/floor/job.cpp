@@ -1,0 +1,239 @@
+#include "floor/job.hpp"
+
+#include <algorithm>
+#include <string>
+
+#include "sched/time_model.hpp"
+#include "soc/schedule_runner.hpp"
+#include "soc/soc.hpp"
+#include "soc/tester.hpp"
+#include "soc/traffic.hpp"
+#include "tpg/patterns.hpp"
+#include "util/rng.hpp"
+
+namespace casbus::floor {
+namespace {
+
+/// Synthetic-core spec sized for floor jobs: big enough that execution is
+/// dominated by simulation (not queue traffic), small enough that one job
+/// stays in the tens of milliseconds.
+tpg::SyntheticCoreSpec job_core_spec(Rng& rng, std::size_t chains) {
+  tpg::SyntheticCoreSpec spec;
+  spec.n_inputs = 4;
+  spec.n_outputs = 4;
+  spec.n_flipflops = 8 + rng.below(9);  // 8..16
+  spec.n_gates = 3 * spec.n_flipflops + rng.below(spec.n_flipflops);
+  spec.n_chains = std::min(chains, spec.n_flipflops);
+  spec.seed = rng.next();
+  return spec;
+}
+
+/// Scheduled scenarios (ScanOnly / BistJoin): synthesize the SoC, compile
+/// via the analytic scheduler, execute cycle-accurately.
+void run_scheduled(const JobSpec& spec, bool with_engines, Rng& rng,
+                   JobResult& result) {
+  soc::SocBuilder builder(spec.bus_width);
+  const std::size_t total = std::max<std::size_t>(2, spec.cores);
+  std::size_t scan_cores = total;
+  std::size_t engines = 0;
+
+  if (with_engines) {
+    // Reserve one slot for a logic-BIST engine, and one for an embedded
+    // memory when the bus is wide enough to give both a dedicated wire
+    // while keeping at least one scan wire free.
+    const bool with_memory = spec.bus_width >= 4;
+    engines = with_memory ? 2 : 1;
+    scan_cores = std::max<std::size_t>(1, total - engines);
+    builder.add_bist_core("lbist", job_core_spec(rng, 1),
+                          64 + static_cast<std::uint32_t>(rng.below(129)));
+    if (with_memory)
+      builder.add_memory_core("ram", 16 + 16 * rng.below(2), 8);
+  }
+  // Executable-schedule constraint: a CAS routes each selected wire to
+  // exactly one port, so a core's chains must land on *distinct* wires.
+  // In the tightest session every engine holds a wire concurrently with
+  // the scan part; capping chains at the scan wires left then keeps the
+  // grouped balance from concatenating two chains of one core onto one
+  // wire — a plan the analytic model allows but the switch cannot route.
+  const std::size_t max_chains = std::max<std::size_t>(
+      1, std::min<std::size_t>(3, spec.bus_width - engines));
+  for (std::size_t i = 0; i < scan_cores; ++i)
+    builder.add_scan_core("scan" + std::to_string(i),
+                          job_core_spec(rng, 1 + rng.below(max_chains)));
+
+  auto soc = builder.build();
+  const soc::CompiledProgram program = soc::compile_program(
+      *soc, spec.strategy, spec.patterns_per_ff, rng.next());
+  soc::SocTester tester(*soc);
+  const soc::ScheduleRunReport report =
+      soc::run_program(*soc, tester, program);
+
+  result.cores = soc->core_count();
+  result.sessions = report.sessions;
+  result.patterns = program.total_patterns();
+  result.predicted_cycles = report.predicted_cycles;
+  result.measured_cycles = report.measured_cycles;
+  result.sim_cycles = tester.cycles();
+  result.pass = report.all_pass;
+}
+
+/// Hierarchical scenario (paper Fig. 2d): children tested through a parent
+/// CAS tunnel, concurrently with a top-level scan core. The analytic
+/// scheduler cannot express hierarchy, so the session is assembled by hand
+/// and predicted directly with the time model.
+void run_hierarchical(const JobSpec& spec, Rng& rng, JobResult& result) {
+  const std::size_t children = 2 + rng.below(2);  // 2..3
+  // Top core rides 2 wires, each child needs its own tunnel wire.
+  const unsigned width =
+      std::max<unsigned>(spec.bus_width, static_cast<unsigned>(2 + children));
+
+  soc::SocBuilder builder(width);
+  builder.add_scan_core("top", job_core_spec(rng, 2));
+  std::vector<soc::SocBuilder::ChildSpec> child_specs;
+  for (std::size_t j = 0; j < children; ++j)
+    child_specs.push_back({"sub" + std::to_string(j), job_core_spec(rng, 1)});
+  builder.add_hierarchical_core("subsys",
+                                static_cast<unsigned>(children),
+                                std::move(child_specs));
+  auto soc = builder.build();
+  soc::SocTester tester(*soc);
+
+  const std::size_t patterns = 6 + rng.below(7);  // 6..12, same per target
+  soc::ScanSession session;
+  std::vector<unsigned> tunnel;
+  for (std::size_t j = 0; j < children; ++j)
+    tunnel.push_back(static_cast<unsigned>(2 + j));
+  session.routes.push_back(soc::HierarchyRoute{1, tunnel});
+
+  // Wire loads drive the analytic prediction: each chain sits alone on its
+  // wire, so the session length follows scan_cycles(max chain, V) exactly.
+  std::size_t max_load = 0;
+  const tpg::SyntheticCore& top = soc->cores()[0].as_scan().synth();
+  std::vector<unsigned> top_wires;
+  for (std::size_t c = 0; c < top.chains.size(); ++c) {
+    top_wires.push_back(static_cast<unsigned>(c));
+    max_load = std::max(max_load, top.chains[c].size());
+  }
+  session.targets.push_back(soc::ScanTarget{
+      soc::CoreRef{0, std::nullopt}, top_wires,
+      tpg::PatternSet::random(top.spec.n_flipflops, patterns, rng)});
+  const soc::HierarchicalBody& body = *soc->cores()[1].hier;
+  for (std::size_t j = 0; j < children; ++j) {
+    const tpg::SyntheticCore& child = body.children[j].as_scan().synth();
+    max_load = std::max(max_load, child.spec.n_flipflops);
+    session.targets.push_back(soc::ScanTarget{
+        soc::CoreRef{1, j}, {tunnel[j]},
+        tpg::PatternSet::random(child.spec.n_flipflops, patterns, rng)});
+  }
+
+  const soc::ScanSessionResult r = tester.run_scan_session(session);
+  result.cores = 1 + children;  // leaves under test
+  result.sessions = 1;
+  result.patterns = patterns * (1 + children);
+  result.predicted_cycles = sched::scan_cycles(max_load, patterns);
+  result.measured_cycles = r.test_cycles;
+  result.sim_cycles = tester.cycles();
+  result.pass = r.all_pass();
+}
+
+/// Maintenance scenario (paper §4): MARCH-test an embedded memory over the
+/// bus while live functional traffic keeps hammering a second memory, and
+/// scan-test a logic core in the same window. Passing requires the MBIST
+/// verdict, clean scan responses, and zero traffic read-back errors.
+void run_maintenance(const JobSpec& spec, Rng& rng, JobResult& result) {
+  soc::SocBuilder builder(spec.bus_width);
+  builder.add_memory_core("ram", 16 + 16 * rng.below(2), 8);
+  builder.add_memory_core("buf", 16, 8);
+  const std::size_t chains =
+      std::max<std::size_t>(1, std::min<std::size_t>(2, spec.bus_width - 1));
+  builder.add_scan_core("logic", job_core_spec(rng, chains));
+  auto soc = builder.build();
+
+  soc::MemoryTraffic traffic(*soc, 1, rng.next());
+  soc::SocTester tester(*soc);
+  soc::MemoryCore& ram = soc->cores()[0].as_memory();
+
+  traffic.set_enabled(true);
+  tester.step(64 + rng.below(65));  // mission mode before the window
+
+  // Scan the logic core while traffic keeps flowing through "buf".
+  const tpg::SyntheticCore& logic = soc->cores()[2].as_scan().synth();
+  const std::size_t patterns = 4 + rng.below(5);  // 4..8
+  soc::ScanSession session;
+  std::vector<unsigned> wires;
+  for (std::size_t c = 0; c < logic.chains.size(); ++c)
+    wires.push_back(static_cast<unsigned>(c));
+  session.targets.push_back(soc::ScanTarget{
+      soc::CoreRef{2, std::nullopt}, wires,
+      tpg::PatternSet::random(logic.spec.n_flipflops, patterns, rng)});
+  const soc::ScanSessionResult scan = tester.run_scan_session(session);
+
+  // Maintenance window proper: MBIST over the top bus wire.
+  const soc::BistRunResult mbist =
+      tester.run_bist(0, spec.bus_width - 1, ram.mbist_cycles());
+  tester.step(32);  // back to mission mode
+
+  result.cores = soc->core_count();
+  result.sessions = 2;
+  result.patterns = patterns;
+  result.predicted_cycles = ram.mbist_cycles();
+  result.measured_cycles = mbist.test_cycles;
+  result.sim_cycles = tester.cycles();
+  result.pass = scan.all_pass() && mbist.pass &&
+                traffic.mismatches() == 0 && traffic.reads_checked() > 0;
+}
+
+}  // namespace
+
+const char* scenario_name(ScenarioKind kind) noexcept {
+  switch (kind) {
+    case ScenarioKind::ScanOnly: return "scan";
+    case ScenarioKind::BistJoin: return "bist";
+    case ScenarioKind::Hierarchical: return "hier";
+    case ScenarioKind::Maintenance: return "maint";
+  }
+  return "unknown";
+}
+
+ScenarioKind scenario_from_name(std::string_view name) {
+  if (name == "scan") return ScenarioKind::ScanOnly;
+  if (name == "bist") return ScenarioKind::BistJoin;
+  if (name == "hier") return ScenarioKind::Hierarchical;
+  if (name == "maint") return ScenarioKind::Maintenance;
+  CASBUS_REQUIRE(false, "unknown scenario: " + std::string(name));
+  return ScenarioKind::ScanOnly;  // unreachable
+}
+
+JobResult run_job(const JobSpec& spec) noexcept {
+  JobResult result;
+  result.id = spec.id;
+  result.scenario = spec.scenario;
+  try {
+    CASBUS_REQUIRE(spec.bus_width >= 2 && spec.bus_width <= 32,
+                   "floor job bus width must be in [2, 32]");
+    Rng rng(spec.seed);
+    switch (spec.scenario) {
+      case ScenarioKind::ScanOnly:
+        run_scheduled(spec, /*with_engines=*/false, rng, result);
+        break;
+      case ScenarioKind::BistJoin:
+        run_scheduled(spec, /*with_engines=*/true, rng, result);
+        break;
+      case ScenarioKind::Hierarchical:
+        run_hierarchical(spec, rng, result);
+        break;
+      case ScenarioKind::Maintenance:
+        run_maintenance(spec, rng, result);
+        break;
+    }
+  } catch (const std::exception& e) {
+    result.pass = false;
+    result.error = e.what();
+  } catch (...) {
+    result.pass = false;
+    result.error = "unknown error";
+  }
+  return result;
+}
+
+}  // namespace casbus::floor

@@ -1,0 +1,88 @@
+/// \file job.hpp
+/// One unit of test-floor work: a self-contained recipe for synthesizing an
+/// SoC, compiling its test program, and running it through a private
+/// cycle-accurate tester.
+///
+/// ## Determinism & thread-safety contract
+/// A job is *pure*: run_job() constructs every object it touches (Soc,
+/// SocTester, Rng, compiled schedules) from the JobSpec alone and shares no
+/// mutable state with other jobs. Two calls with equal specs produce equal
+/// results in every deterministic field, regardless of which thread runs
+/// them or what runs concurrently. All of a job's randomness flows from its
+/// private seed — the floor derives it as Rng::derive_stream(floor_seed,
+/// job id) (see util/rng.hpp), which is what makes a whole floor run's
+/// aggregates byte-identical for 1 and N workers.
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "sched/scheduler.hpp"
+
+namespace casbus::floor {
+
+/// The test-program shapes a floor job can exercise — one per access type
+/// the CAS-BUS serves (paper Fig. 2 plus the §4 maintenance scenario).
+enum class ScenarioKind {
+  ScanOnly,      ///< scan cores only, scheduled + executed (Fig. 2a)
+  BistJoin,      ///< scan cores with BIST/memory engines joining (Fig. 2b)
+  Hierarchical,  ///< child cores tunneled through a parent CAS (Fig. 2d)
+  Maintenance,   ///< MBIST under live functional memory traffic (§4)
+};
+
+inline constexpr std::size_t kScenarioCount = 4;
+
+/// Stable short name ("scan", "bist", "hier", "maint") — used by the
+/// --scenario-mix CLI syntax and the report breakdowns.
+[[nodiscard]] const char* scenario_name(ScenarioKind kind) noexcept;
+
+/// Inverse of scenario_name(); throws PreconditionError on unknown names.
+[[nodiscard]] ScenarioKind scenario_from_name(std::string_view name);
+
+/// Everything a worker needs to run one job. Plain value object; copying
+/// it into a queue is the only hand-off between producer and workers.
+struct JobSpec {
+  std::size_t id = 0;             ///< slot in the floor run (and RNG stream)
+  ScenarioKind scenario = ScenarioKind::ScanOnly;
+  std::uint64_t seed = 1;         ///< private stream seed for *all* job RNG
+  sched::Strategy strategy = sched::Strategy::Greedy;
+  std::size_t cores = 3;          ///< top-level core count (clamped >= 2)
+  unsigned bus_width = 4;         ///< CAS-BUS wires (must be >= 2)
+  std::size_t patterns_per_ff = 1;///< scan-pattern budget scale
+};
+
+/// Outcome of one job. Every field except wall_seconds is a deterministic
+/// function of the JobSpec (FloorReport::deterministic_summary() relies on
+/// that); wall_seconds is filled in by the executing worker.
+struct JobResult {
+  std::size_t id = 0;
+  ScenarioKind scenario = ScenarioKind::ScanOnly;
+  bool pass = false;
+  std::string error;              ///< non-empty when the job threw
+  std::size_t cores = 0;          ///< cores actually built
+  std::size_t sessions = 0;       ///< test sessions executed
+  std::size_t patterns = 0;       ///< scan patterns applied
+  std::uint64_t predicted_cycles = 0;  ///< analytic time-model prediction
+  std::uint64_t measured_cycles = 0;   ///< simulator cycles for the same span
+  std::uint64_t sim_cycles = 0;   ///< total tester cycles, incl. config
+  double wall_seconds = 0.0;      ///< NOT deterministic; excluded from digests
+
+  /// |measured − predicted| / predicted (0 when nothing was predicted).
+  [[nodiscard]] double deviation() const {
+    if (predicted_cycles == 0) return 0.0;
+    const auto diff = measured_cycles > predicted_cycles
+                          ? measured_cycles - predicted_cycles
+                          : predicted_cycles - measured_cycles;
+    return static_cast<double>(diff) /
+           static_cast<double>(predicted_cycles);
+  }
+};
+
+/// Executes \p spec end to end (synthesize SoC -> compile program -> run
+/// through a private SocTester) and reports. Never throws: scenario
+/// failures and precondition violations come back as JobResult::error.
+[[nodiscard]] JobResult run_job(const JobSpec& spec) noexcept;
+
+}  // namespace casbus::floor

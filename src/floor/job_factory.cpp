@@ -1,0 +1,82 @@
+#include "floor/job_factory.hpp"
+
+#include <iterator>
+
+#include "util/rng.hpp"
+#include "util/strings.hpp"
+
+namespace casbus::floor {
+
+ScenarioMix parse_scenario_mix(std::string_view text) {
+  ScenarioMix mix;
+  mix.weight.fill(0);
+  for (const std::string& entry : split(text, ',')) {
+    const auto colon = entry.find(':');
+    CASBUS_REQUIRE(colon != std::string::npos,
+                   "scenario mix entry needs name:weight, got: " + entry);
+    const ScenarioKind kind = scenario_from_name(entry.substr(0, colon));
+    const std::string value = entry.substr(colon + 1);
+    CASBUS_REQUIRE(!value.empty() &&
+                       value.find_first_not_of("0123456789") ==
+                           std::string::npos,
+                   "scenario mix weight must be a non-negative integer: " +
+                       entry);
+    // Length cap keeps the stoul below both unsigned range (no silent
+    // truncation) and std::out_of_range (contract says PreconditionError).
+    CASBUS_REQUIRE(value.size() <= 6,
+                   "scenario mix weight must be <= 999999: " + entry);
+    mix.weight[static_cast<std::size_t>(kind)] =
+        static_cast<unsigned>(std::stoul(value));
+  }
+  CASBUS_REQUIRE(mix.total() > 0,
+                 "scenario mix needs at least one positive weight");
+  return mix;
+}
+
+JobFactory::JobFactory(std::uint64_t floor_seed, ScenarioMix mix)
+    : seed_(floor_seed), mix_(mix) {
+  CASBUS_REQUIRE(mix_.total() > 0,
+                 "JobFactory: scenario mix needs a positive weight");
+}
+
+JobSpec JobFactory::make_job(std::size_t id) const {
+  Rng rng(Rng::derive_stream(seed_, id));
+
+  JobSpec spec;
+  spec.id = id;
+  spec.seed = rng.next();
+
+  // Weighted scenario pick.
+  std::uint64_t ticket = rng.below(mix_.total());
+  for (std::size_t k = 0; k < kScenarioCount; ++k) {
+    if (ticket < mix_.weight[k]) {
+      spec.scenario = static_cast<ScenarioKind>(k);
+      break;
+    }
+    ticket -= mix_.weight[k];
+  }
+
+  // Executable strategies only (Best may pick rail emulation, which the
+  // broadcast-WSC tester rejects) — greedy-heavy like a real test program.
+  constexpr sched::Strategy kStrategies[] = {
+      sched::Strategy::Greedy, sched::Strategy::Greedy,
+      sched::Strategy::Greedy, sched::Strategy::Greedy,
+      sched::Strategy::Phased, sched::Strategy::Phased,
+      sched::Strategy::PerCore, sched::Strategy::Single,
+  };
+  spec.strategy = kStrategies[rng.below(std::size(kStrategies))];
+
+  spec.cores = 2 + rng.below(3);                              // 2..4
+  spec.bus_width = 4 + static_cast<unsigned>(rng.below(3));   // 4..6
+  spec.patterns_per_ff = 1;
+  return spec;
+}
+
+std::vector<JobSpec> JobFactory::make_jobs(std::size_t count) const {
+  std::vector<JobSpec> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) jobs.push_back(make_job(i));
+  return jobs;
+}
+
+}  // namespace casbus::floor

@@ -1,0 +1,59 @@
+/// \file job_factory.hpp
+/// Scenario-diverse job generation for the test floor.
+///
+/// The factory is the floor's determinism anchor: job i of a floor run
+/// with root seed S is generated from Rng(Rng::derive_stream(S, i)) and
+/// nothing else, so the job list is independent of batch size, request
+/// order, and worker count — make_job(i) can be called lazily, eagerly,
+/// or from multiple threads and always describes the same job.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "floor/job.hpp"
+
+namespace casbus::floor {
+
+/// Relative scenario weights (indexed by ScenarioKind). The default mix
+/// leans on the cheap high-volume scan programs like a production floor
+/// would, with BIST/hierarchical/maintenance programs riding along.
+struct ScenarioMix {
+  std::array<unsigned, kScenarioCount> weight{4, 2, 1, 1};
+
+  [[nodiscard]] unsigned total() const {
+    unsigned t = 0;
+    for (const unsigned w : weight) t += w;
+    return t;
+  }
+};
+
+/// Parses the CLI mix syntax "scan:4,bist:2,hier:1,maint:1". Omitted
+/// scenarios get weight 0; at least one weight must be positive. Throws
+/// PreconditionError on malformed input or unknown scenario names.
+[[nodiscard]] ScenarioMix parse_scenario_mix(std::string_view text);
+
+/// Generates JobSpecs from (root seed, scenario mix).
+class JobFactory {
+ public:
+  explicit JobFactory(std::uint64_t floor_seed, ScenarioMix mix = {});
+
+  /// Describes job \p id deterministically (see file comment).
+  [[nodiscard]] JobSpec make_job(std::size_t id) const;
+
+  /// The first \p count jobs: make_job(0) .. make_job(count-1).
+  [[nodiscard]] std::vector<JobSpec> make_jobs(std::size_t count) const;
+
+  [[nodiscard]] std::uint64_t seed() const noexcept { return seed_; }
+  [[nodiscard]] const ScenarioMix& mix() const noexcept { return mix_; }
+
+ private:
+  std::uint64_t seed_;
+  ScenarioMix mix_;
+};
+
+}  // namespace casbus::floor

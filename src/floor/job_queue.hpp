@@ -1,0 +1,83 @@
+/// \file job_queue.hpp
+/// The test floor's work queue: a minimal multi-producer / multi-consumer
+/// FIFO of JobSpecs with close semantics.
+///
+/// Concurrency contract: every member is safe to call from any thread.
+/// pop() blocks until a job is available or the queue is closed and
+/// drained, in which case it returns std::nullopt — the worker shutdown
+/// signal. Each pushed job is delivered to exactly one popper.
+
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "floor/job.hpp"
+#include "util/error.hpp"
+
+namespace casbus::floor {
+
+/// A job paired with its arrival slot (0-based push order). The slot is
+/// what lets workers deposit results in input order — the first half of
+/// the floor's order-independent aggregation rule.
+struct SlottedJob {
+  std::size_t slot = 0;
+  JobSpec spec;
+};
+
+class JobQueue {
+ public:
+  /// Enqueues one job, assigning it the next arrival slot. Must not be
+  /// called after close().
+  void push(JobSpec job) {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      CASBUS_REQUIRE(!closed_, "JobQueue: push after close");
+      jobs_.push_back(SlottedJob{next_slot_++, std::move(job)});
+    }
+    cv_.notify_one();
+  }
+
+  /// Declares the end of input: blocked and future pop() calls return
+  /// std::nullopt once the remaining jobs are drained. Idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    cv_.notify_all();
+  }
+
+  /// Takes the oldest job, blocking while the queue is open but empty.
+  /// Returns std::nullopt when the queue is closed and fully drained.
+  [[nodiscard]] std::optional<SlottedJob> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return closed_ || !jobs_.empty(); });
+    if (jobs_.empty()) return std::nullopt;
+    SlottedJob job = std::move(jobs_.front());
+    jobs_.pop_front();
+    return job;
+  }
+
+  /// Jobs currently waiting (snapshot — racy by nature under concurrency).
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return jobs_.size();
+  }
+
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<SlottedJob> jobs_;
+  std::size_t next_slot_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace casbus::floor

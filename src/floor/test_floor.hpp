@@ -1,0 +1,59 @@
+/// \file test_floor.hpp
+/// The SoC test-floor service: a pool of worker threads streaming test
+/// programs through independent cycle-accurate testers.
+///
+/// Architecture (one TestFloor::run):
+///
+///     JobSpecs ──▶ JobQueue ──▶ worker 0 ─┐
+///                         ├──▶ worker 1 ─┼──▶ results[slot] ──▶ aggregate
+///                         └──▶ worker N ─┘        (job-slot order)
+///
+/// Each worker owns everything it touches: it pops a JobSpec, synthesizes
+/// a private Soc + SocTester + Rng from the spec (run_job), and writes the
+/// JobResult into its pre-assigned slot of the results vector. Workers
+/// share only the queue (mutex-guarded) and disjoint result slots, so no
+/// simulation state ever crosses a thread boundary.
+///
+/// ## Determinism guarantee
+/// For a fixed job list (fixed floor seed), FloorReport's deterministic
+/// aggregates — everything in deterministic_summary() — are byte-identical
+/// for 1 worker and N workers: job randomness is keyed by
+/// Rng::derive_stream(seed, job id), results land in job-slot order, and
+/// aggregation folds that vector sequentially after the pool has joined.
+/// Only wall-clock throughput varies with the worker count.
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "floor/job.hpp"
+#include "floor/report.hpp"
+
+namespace casbus::floor {
+
+struct FloorConfig {
+  /// Worker threads; 0 means one per hardware thread
+  /// (std::thread::hardware_concurrency, itself clamped to >= 1).
+  std::size_t workers = 0;
+};
+
+/// Runs batches of jobs through a worker pool. A TestFloor object is cheap
+/// (configuration only); each run() builds and joins a fresh pool.
+class TestFloor {
+ public:
+  explicit TestFloor(FloorConfig config = {});
+
+  /// Effective worker-thread count a run() will use.
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+
+  /// Executes every job and returns the aggregated report (results in
+  /// input order). Spawns min(workers(), jobs.size()) threads; an empty
+  /// job list returns an empty report without spawning any.
+  [[nodiscard]] FloorReport run(const std::vector<JobSpec>& jobs) const;
+
+ private:
+  std::size_t workers_;
+};
+
+}  // namespace casbus::floor

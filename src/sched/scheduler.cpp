@@ -5,6 +5,39 @@
 
 namespace casbus::sched {
 
+const char* strategy_name(Strategy s) noexcept {
+  switch (s) {
+    case Strategy::Single: return "single";
+    case Strategy::PerCore: return "per_core";
+    case Strategy::Greedy: return "greedy";
+    case Strategy::Phased: return "phased";
+    case Strategy::Best: return "best";
+  }
+  return "unknown";
+}
+
+Strategy strategy_from_name(std::string_view name) {
+  if (name == "single") return Strategy::Single;
+  if (name == "per_core") return Strategy::PerCore;
+  if (name == "greedy") return Strategy::Greedy;
+  if (name == "phased") return Strategy::Phased;
+  if (name == "best") return Strategy::Best;
+  CASBUS_REQUIRE(false, "unknown scheduling strategy: " + std::string(name));
+  return Strategy::Greedy;  // unreachable
+}
+
+Schedule SessionScheduler::schedule_with(Strategy s) const {
+  switch (s) {
+    case Strategy::Single: return single_session();
+    case Strategy::PerCore: return per_core_sessions();
+    case Strategy::Greedy: return greedy();
+    case Strategy::Phased: return phased();
+    case Strategy::Best: return best();
+  }
+  CASBUS_REQUIRE(false, "schedule_with: invalid strategy");
+  return {};  // unreachable
+}
+
 SessionScheduler::SessionScheduler(std::vector<CoreTestSpec> cores,
                                    unsigned bus_width)
     : cores_(std::move(cores)), width_(bus_width) {

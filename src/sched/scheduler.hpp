@@ -12,12 +12,35 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 #include <vector>
 
 #include "sched/balance.hpp"
 #include "sched/time_model.hpp"
 
 namespace casbus::sched {
+
+/// Named scheduling strategies, so callers that select a strategy at run
+/// time (CLI flags, test-floor job specs, benchmark sweeps) can drive
+/// SessionScheduler generically via SessionScheduler::schedule_with().
+///
+/// All strategies except Best always produce chip-synchronous (directly
+/// executable) schedules; Best additionally sweeps rail emulation, whose
+/// winner may require per-group sequencing the broadcast-WSC controller
+/// cannot execute (Schedule::chip_synchronous == false).
+enum class Strategy {
+  Single,   ///< SessionScheduler::single_session()
+  PerCore,  ///< SessionScheduler::per_core_sessions()
+  Greedy,   ///< SessionScheduler::greedy()
+  Phased,   ///< SessionScheduler::phased()
+  Best,     ///< SessionScheduler::best()
+};
+
+/// Stable lowercase name ("single", "per_core", "greedy", "phased", "best").
+[[nodiscard]] const char* strategy_name(Strategy s) noexcept;
+
+/// Inverse of strategy_name(); throws PreconditionError on unknown names.
+[[nodiscard]] Strategy strategy_from_name(std::string_view name);
 
 /// One test session: a set of cores tested concurrently under one bus
 /// configuration.
@@ -90,6 +113,10 @@ class SessionScheduler {
   /// The best of all strategies, including a sweep of rail counts (what a
   /// test programmer would ship).
   [[nodiscard]] Schedule best() const;
+
+  /// Dispatches to the strategy named by \p s — the run-time-selection
+  /// entry point used by the test floor and the CLIs.
+  [[nodiscard]] Schedule schedule_with(Strategy s) const;
 
   /// Cycles to reconfigure between sessions on this SoC (every CAS IR plus
   /// the wrapper ring).

@@ -52,4 +52,37 @@ ScheduleRunReport run_schedule(Soc& soc, SocTester& tester,
                                const sched::Schedule& schedule,
                                std::uint64_t pattern_seed = 1);
 
+/// A compiled test program: everything needed to execute one SoC's test
+/// schedule, bundled as an immutable value object. Compiling and executing
+/// are split so concurrent drivers (the src/floor/ service) can hold one
+/// CompiledProgram per job as self-contained per-worker state: a const
+/// CompiledProgram shares no mutable state with any Soc, SocTester, or
+/// other program, so distinct workers may compile and run programs for
+/// *distinct* Soc instances with no synchronization.
+struct CompiledProgram {
+  std::vector<sched::CoreTestSpec> specs;
+  sched::Schedule schedule;
+  std::uint64_t pattern_seed = 1;
+
+  /// Total scan-pattern budget across all cores.
+  [[nodiscard]] std::size_t total_patterns() const {
+    std::size_t n = 0;
+    for (const auto& s : specs) n += s.patterns;
+    return n;
+  }
+};
+
+/// Compiles a complete program for \p soc: derives the core specs
+/// (specs_of), schedules them on the SoC's own bus width with \p strategy.
+/// Strategies other than sched::Strategy::Best always yield an executable
+/// (chip-synchronous) program; Best may not — run_program rejects those.
+CompiledProgram compile_program(Soc& soc, sched::Strategy strategy,
+                                std::size_t patterns_per_ff = 1,
+                                std::uint64_t pattern_seed = 1);
+
+/// Executes a compiled program against \p soc (the same SoC geometry it
+/// was compiled for) — a thin wrapper over run_schedule.
+ScheduleRunReport run_program(Soc& soc, SocTester& tester,
+                              const CompiledProgram& program);
+
 }  // namespace casbus::soc

@@ -6,6 +6,16 @@
 /// all experiments are reproducible from a single seed. The implementation is
 /// xoshiro256** 1.0 (Blackman & Vigna), which is small, fast and has no
 /// external dependencies.
+///
+/// ## Thread-safety
+/// Rng is a plain value type: there is no global or hidden shared state
+/// anywhere in this header, so distinct instances may be used from distinct
+/// threads freely. A single instance, however, is NOT synchronized — sharing
+/// one across threads without external locking is a data race. Concurrent
+/// code (the src/floor/ test-floor service) therefore gives every unit of
+/// work its own generator, seeded via derive_stream(root_seed, id), instead
+/// of sharing one: that keeps results reproducible regardless of how work is
+/// interleaved across worker threads.
 
 #pragma once
 
@@ -82,6 +92,21 @@ class Rng {
   /// Fair coin, or biased coin with probability \p p_true of returning true.
   bool coin(double p_true = 0.5) {
     return static_cast<double>(next() >> 11) * 0x1.0p-53 < p_true;
+  }
+
+  /// Derives the seed of an independent, reproducible sub-stream from a
+  /// root seed and a stream id (splitmix64 finalizer over a golden-ratio
+  /// stride). Equal (root, id) pairs always yield equal streams; different
+  /// ids decorrelate even for adjacent roots. This is the seeding rule
+  /// behind the test-floor determinism guarantee: job j of a floor run with
+  /// seed S draws from Rng(derive_stream(S, j)) no matter which worker
+  /// thread executes it.
+  static constexpr std::uint64_t derive_stream(
+      std::uint64_t root_seed, std::uint64_t stream_id) noexcept {
+    std::uint64_t z = root_seed + 0x9E3779B97F4A7C15ULL * (stream_id + 1);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
   }
 
  private:

@@ -14,6 +14,20 @@ std::string join(const std::vector<std::string>& parts, std::string_view sep) {
   return out;
 }
 
+std::vector<std::string> split(std::string_view s, char sep) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (true) {
+    const std::size_t end = s.find(sep, start);
+    if (end == std::string_view::npos) {
+      parts.emplace_back(s.substr(start));
+      return parts;
+    }
+    parts.emplace_back(s.substr(start, end - start));
+    start = end + 1;
+  }
+}
+
 std::string format_double(double value, int decimals) {
   char buf[64];
   std::snprintf(buf, sizeof buf, "%.*f", decimals, value);

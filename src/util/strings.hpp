@@ -12,6 +12,10 @@ namespace casbus {
 /// Joins \p parts with \p sep between consecutive elements.
 std::string join(const std::vector<std::string>& parts, std::string_view sep);
 
+/// Splits \p s on \p sep; empty fields are preserved ("a,,b" -> {"a","","b"}),
+/// and splitting the empty string yields one empty field.
+std::vector<std::string> split(std::string_view s, char sep);
+
 /// Returns \p value formatted with \p decimals digits after the point.
 std::string format_double(double value, int decimals = 2);
 
