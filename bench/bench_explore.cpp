@@ -1,0 +1,186 @@
+/// \file bench_explore.cpp
+/// E1 — Scheduling at industrial scale: the paper claims CAS-BUS *scales*,
+/// so this harness finally measures it. Synthetic SoC populations of 10,
+/// 100, and 1000 cores (plus profile variants at 100) are scheduled with
+/// the polynomial heuristics and the branch-and-bound engine; for every
+/// population the artifact records test cycles, the certified optimality
+/// gap, wall time, and wall time *per core* (the scalability axis), and a
+/// width x strategy Pareto sweep is reported for the 100-core SoC.
+///
+/// Gates consumed by CI (bench-trajectory job):
+///   - 10-core mixed: branch-and-bound proves optimality and matches
+///     exact_schedule (gap_vs_exact == 0),
+///   - 1000-core mixed: a schedule is produced within the node budget with
+///     a finite certified bound_gap.
+
+#include <chrono>
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "explore/explorer.hpp"
+#include "sched/exact.hpp"
+#include "sched/lower_bound.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace
+
+int main() {
+  using namespace casbus;
+  using namespace casbus::explore;
+  using casbus::bench::JsonReporter;
+
+  bench::banner("E1", "Design-space exploration on synthetic SoCs");
+  JsonReporter rep("explore");
+  const SocGenerator generator(2000);
+
+  // --- Population sweep: scaling of the scheduling engines -------------
+  struct Population {
+    std::size_t cores;
+    SocProfile profile;
+    std::size_t node_budget;
+  };
+  const std::vector<Population> populations = {
+      {10, SocProfile::Mixed, 50000},
+      {100, SocProfile::Mixed, 4000},
+      {100, SocProfile::ScanHeavy, 4000},
+      {100, SocProfile::BistHeavy, 4000},
+      {1000, SocProfile::Mixed, 600},
+  };
+
+  Table table({"cores", "profile", "strategy", "cycles", "gap", "optimal",
+               "sched s", "us/core"},
+              {Align::Right, Align::Left, Align::Left, Align::Right,
+               Align::Right, Align::Right, Align::Right, Align::Right});
+
+  for (const Population& pop : populations) {
+    const GeneratedSoc soc = generator.generate(pop.cores, pop.profile);
+    const sched::SessionScheduler scheduler(soc.cores,
+                                            soc.suggested_width);
+    const std::uint64_t global_lb = sched::schedule_lower_bound(
+        soc.cores, soc.suggested_width, scheduler.reconfig_cost());
+
+    const JsonReporter::Params base = {
+        {"cores", std::to_string(pop.cores)},
+        {"profile", profile_name(pop.profile)},
+        {"width", std::to_string(soc.suggested_width)}};
+
+    // Polynomial heuristics.
+    for (const sched::Strategy strategy :
+         {sched::Strategy::Greedy, sched::Strategy::Phased}) {
+      const auto start = std::chrono::steady_clock::now();
+      const std::uint64_t cycles =
+          scheduler.schedule_with(strategy).total_cycles;
+      const double secs = seconds_since(start);
+      const double gap =
+          static_cast<double>(cycles) / static_cast<double>(global_lb) -
+          1.0;
+      JsonReporter::Params params = base;
+      params.emplace_back("strategy", sched::strategy_name(strategy));
+      rep.record("population", params, "cycles", cycles);
+      rep.record("population", params, "bound_gap", gap);
+      rep.record("population", params, "schedule_seconds", secs);
+      rep.record("population", params, "seconds_per_core",
+                 secs / static_cast<double>(pop.cores));
+      table.add_row({std::to_string(pop.cores),
+                     profile_name(pop.profile),
+                     sched::strategy_name(strategy),
+                     std::to_string(cycles),
+                     format_double(100.0 * gap, 2) + "%", "-",
+                     format_double(secs, 3),
+                     format_double(1e6 * secs / pop.cores, 1)});
+    }
+
+    // Branch and bound.
+    BranchBoundConfig config;
+    config.node_budget = pop.node_budget;
+    const auto start = std::chrono::steady_clock::now();
+    const BranchBoundResult bb =
+        BranchBoundScheduler(scheduler, config).run();
+    const double secs = seconds_since(start);
+
+    JsonReporter::Params params = base;
+    params.emplace_back("strategy", "branch_bound");
+    rep.record("population", params, "cycles", bb.best_cost);
+    rep.record("population", params, "lower_bound", bb.lower_bound);
+    rep.record("population", params, "bound_gap", bb.gap());
+    rep.record("population", params, "optimal",
+               std::uint64_t{bb.optimal ? 1u : 0u});
+    rep.record("population", params, "nodes_expanded", bb.nodes_expanded);
+    rep.record("population", params, "schedule_seconds", secs);
+    rep.record("population", params, "seconds_per_core",
+               secs / static_cast<double>(pop.cores));
+    table.add_row({std::to_string(pop.cores), profile_name(pop.profile),
+                   "branch_bound", std::to_string(bb.best_cost),
+                   format_double(100.0 * bb.gap(), 2) + "%",
+                   bb.optimal ? "yes" : "-", format_double(secs, 3),
+                   format_double(1e6 * secs / pop.cores, 1)});
+
+    // Ground truth on the paper-sized SoC: B&B must match exact_schedule.
+    if (pop.cores <= 10 && pop.profile == SocProfile::Mixed) {
+      const sched::ExactResult exact = sched::exact_schedule(scheduler);
+      const double vs_exact =
+          static_cast<double>(bb.best_cost) /
+              static_cast<double>(exact.schedule.total_cycles) -
+          1.0;
+      rep.record("population", params, "gap_vs_exact", vs_exact);
+      rep.record("population", params, "exact_heuristic_gap",
+                 exact.heuristic_gap);
+      std::cout << "10-core ground truth: B&B " << bb.best_cost
+                << " cycles vs exact "
+                << exact.schedule.total_cycles << " (gap "
+                << format_double(100.0 * vs_exact, 4) << "%)\n";
+    }
+  }
+  table.print(std::cout);
+
+  // --- Width x strategy Pareto sweep on the 100-core mixed SoC ----------
+  std::cout << "\nPareto sweep (100-core mixed SoC):\n\n";
+  const GeneratedSoc soc = generator.generate(100, SocProfile::Mixed);
+  const DesignSpaceExplorer explorer(soc);
+  ExploreConfig config;
+  config.widths = {8, 12, 16, 24, 32};
+  config.strategies = {sched::Strategy::Greedy, sched::Strategy::Phased,
+                       sched::Strategy::BranchBound};
+  config.branch_bound.node_budget = 2000;
+  const ExploreReport report = explorer.sweep(config);
+
+  Table pareto({"width", "strategy", "cycles", "gap", "area (GE)",
+                "pareto"},
+               {Align::Right, Align::Left, Align::Right, Align::Right,
+                Align::Right, Align::Right});
+  for (const ExplorePoint& p : report.points) {
+    pareto.add_row({std::to_string(p.width),
+                    sched::strategy_name(p.strategy),
+                    std::to_string(p.test_cycles),
+                    format_double(100.0 * p.gap, 2) + "%",
+                    format_double(p.bus_area_ge, 0),
+                    p.pareto ? "*" : ""});
+    const JsonReporter::Params params = {
+        {"cores", "100"},
+        {"profile", "mixed"},
+        {"width", std::to_string(p.width)},
+        {"strategy", sched::strategy_name(p.strategy)}};
+    rep.record("pareto", params, "cycles", p.test_cycles);
+    rep.record("pareto", params, "bus_area_ge", p.bus_area_ge);
+    rep.record("pareto", params, "gap", p.gap);
+    rep.record("pareto", params, "pareto",
+               std::uint64_t{p.pareto ? 1u : 0u});
+  }
+  pareto.print(std::cout);
+
+  std::cout << "\nThe sweep is the paper's §3.2 trade-off at industrial"
+               " scale: widening the bus keeps buying test time until the"
+               " schedule is bound-limited, while CAS area grows"
+               " super-linearly — the Pareto frontier picks the width a"
+               " test integrator would actually ship.\n";
+  return 0;
+}

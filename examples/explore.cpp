@@ -1,0 +1,113 @@
+/// \file explore.cpp
+/// Design-space exploration CLI: generate a synthetic SoC population and
+/// sweep TAM width x scheduling strategy, reporting test time, bus area,
+/// and the proven optimality gap of every point — the paper's §3.2 width
+/// trade-off, finally runnable at 100–1000-core scale.
+///
+///   explore [--cores N] [--profile mixed|scan_heavy|bist_heavy|hierarchical]
+///           [--seed S] [--instance I] [--widths 8,16,32]
+///           [--strategies greedy,phased,branch_bound] [--node-budget K]
+///
+/// Pareto-optimal (time, area) points are marked '*' in the table.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "explore/explorer.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+[[noreturn]] void usage(const char* argv0) {
+  std::cerr << "usage: " << argv0
+            << " [--cores N] [--profile mixed|scan_heavy|bist_heavy|"
+               "hierarchical] [--seed S] [--instance I]"
+               " [--widths 8,16,32]"
+               " [--strategies greedy,phased,branch_bound]"
+               " [--node-budget K]\n";
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace casbus;
+  using namespace casbus::explore;
+
+  std::size_t cores = 100;
+  SocProfile profile = SocProfile::Mixed;
+  std::uint64_t seed = 1;
+  std::size_t instance = 0;
+  ExploreConfig config;
+
+  try {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> std::string {
+        if (i + 1 >= argc) usage(argv[0]);
+        return argv[++i];
+      };
+      if (arg == "--cores") cores = std::stoul(value());
+      else if (arg == "--profile") profile = profile_from_name(value());
+      else if (arg == "--seed") seed = std::stoull(value());
+      else if (arg == "--instance") instance = std::stoul(value());
+      else if (arg == "--node-budget")
+        config.branch_bound.node_budget = std::stoul(value());
+      else if (arg == "--widths") {
+        config.widths.clear();
+        for (const std::string& w : split(value(), ','))
+          config.widths.push_back(
+              static_cast<unsigned>(std::stoul(w)));
+      } else if (arg == "--strategies") {
+        config.strategies.clear();
+        for (const std::string& s : split(value(), ','))
+          config.strategies.push_back(sched::strategy_from_name(s));
+      } else {
+        usage(argv[0]);
+      }
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "bad arguments: " << e.what() << "\n";
+    usage(argv[0]);
+  }
+
+  const SocGenerator generator(seed);
+  const GeneratedSoc soc = generator.generate(cores, profile, instance);
+  std::cout << "SoC " << soc.name << ": " << soc.cores.size()
+            << " top-level cores (" << soc.scan_core_count() << " scan, "
+            << soc.bist_core_count() << " BIST), "
+            << soc.total_scan_bits() << " scan bits, suggested width "
+            << soc.suggested_width << "\n\n";
+
+  const DesignSpaceExplorer explorer(soc);
+  const ExploreReport report = explorer.sweep(config);
+
+  Table table({"width", "strategy", "test cycles", "gap", "optimal",
+               "bus area (GE)", "pass-T (GE)", "sched s", "pareto"},
+              {Align::Right, Align::Left, Align::Right, Align::Right,
+               Align::Right, Align::Right, Align::Right, Align::Right,
+               Align::Right});
+  for (const ExplorePoint& p : report.points) {
+    table.add_row({std::to_string(p.width),
+                   sched::strategy_name(p.strategy),
+                   std::to_string(p.test_cycles),
+                   format_double(100.0 * p.gap, 2) + "%",
+                   p.proven_optimal ? "yes" : "-",
+                   format_double(p.bus_area_ge, 0),
+                   format_double(p.pass_transistor_ge, 0),
+                   format_double(p.schedule_seconds, 3),
+                   p.pareto ? "*" : ""});
+  }
+  table.print(std::cout);
+
+  if (const ExplorePoint* best = report.best_time()) {
+    std::cout << "\nfastest point: width " << best->width << ", "
+              << sched::strategy_name(best->strategy) << " ("
+              << best->test_cycles << " cycles, gap "
+              << format_double(100.0 * best->gap, 2) << "%)\n";
+  }
+  return 0;
+}

@@ -5,7 +5,7 @@
 ///
 ///   floor_service [--workers N] [--jobs M] [--seed S]
 ///                 [--scenario-mix scan:4,bist:2,hier:1,maint:1]
-///                 [--strategy single|per_core|greedy|phased]
+///                 [--strategy single|per_core|greedy|phased|exact|branch_bound]
 ///                 [--patterns-per-ff K] [--summary]
 ///
 /// --workers 0 (the default) uses one worker per hardware thread.
@@ -29,7 +29,7 @@ namespace {
   std::cerr << "usage: " << argv0
             << " [--workers N] [--jobs M] [--seed S]"
                " [--scenario-mix scan:4,bist:2,hier:1,maint:1]"
-               " [--strategy single|per_core|greedy|phased]"
+               " [--strategy single|per_core|greedy|phased|exact|branch_bound]"
                " [--patterns-per-ff K] [--summary]\n";
   std::exit(2);
 }

@@ -1,6 +1,7 @@
 #include "core/arrangement.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace casbus::tam {
 
@@ -14,6 +15,14 @@ std::uint64_t arrangement_count(unsigned n, unsigned p) {
     result *= factor;
   }
   return result;
+}
+
+double log2_arrangement_count(unsigned n, unsigned p) {
+  CASBUS_REQUIRE(p <= n, "arrangement_count requires p <= n");
+  double log2_a = 0.0;
+  for (unsigned i = 0; i < p; ++i)
+    log2_a += std::log2(static_cast<double>(n - i));
+  return log2_a;
 }
 
 std::uint64_t arrangement_rank(const std::vector<unsigned>& wires,

@@ -22,6 +22,11 @@ namespace casbus::tam {
 /// Throws PreconditionError when p > n or the value overflows 64 bits.
 std::uint64_t arrangement_count(unsigned n, unsigned p);
 
+/// log2 of A(n,p), computed without overflow — the safe path for wide-bus
+/// geometries whose instruction spaces exceed 64 bits (scheduling and
+/// area models only need the magnitude there). Throws when p > n.
+double log2_arrangement_count(unsigned n, unsigned p);
+
 /// Lexicographic rank of the arrangement \p wires (w_0, ..., w_{P-1}),
 /// all distinct values < \p n, among all A(n, wires.size()) arrangements.
 std::uint64_t arrangement_rank(const std::vector<unsigned>& wires,

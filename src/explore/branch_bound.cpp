@@ -1,0 +1,297 @@
+#include "explore/branch_bound.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <utility>
+#include <vector>
+
+#include "sched/exact.hpp"
+#include "sched/lower_bound.hpp"
+
+namespace casbus::explore {
+
+namespace {
+
+using sched::CoreTestSpec;
+using sched::GroupBound;
+
+/// One search node: the assignment of scan core `depth-1` (in search
+/// order) to `group`, linked to the parent prefix. Nodes live in an arena
+/// and share prefixes, so memory stays O(nodes), not O(nodes * depth).
+struct Node {
+  std::uint32_t parent = 0;
+  std::uint16_t depth = 0;
+  std::uint16_t group = 0;
+  std::uint16_t groups_used = 0;
+  std::uint64_t f = 0;
+};
+
+/// Min-heap entry: (bound, arena index). The index tie-break makes the
+/// expansion order — and therefore the whole search — deterministic.
+using OpenEntry = std::pair<std::uint64_t, std::uint32_t>;
+
+class Search {
+ public:
+  Search(const sched::SessionScheduler& scheduler,
+         const BranchBoundConfig& config)
+      : scheduler_(scheduler),
+        config_(config),
+        width_(scheduler.width()),
+        reconfig_(scheduler.reconfig_cost()) {
+    for (std::size_t i = 0; i < scheduler.cores().size(); ++i) {
+      if (scheduler.cores()[i].is_scan())
+        scan_.push_back(i);
+      else
+        bist_.push_back(i);
+    }
+    CASBUS_REQUIRE(scan_.size() < 65535,
+                   "BranchBoundScheduler: too many scan cores");
+    // Demanding cores first: their bounds dominate early, so pruning and
+    // greedy completions both make their hard decisions at the top of the
+    // tree.
+    std::stable_sort(scan_.begin(), scan_.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return core_session_lower_bound(core(a), width_) >
+                              core_session_lower_bound(core(b), width_);
+                     });
+
+    max_single_ = 0;
+    for (const CoreTestSpec& c : scheduler.cores())
+      max_single_ =
+          std::max(max_single_, core_session_lower_bound(c, width_));
+    work_bound_ = (sched::total_wire_work(scheduler.cores()) + width_ - 1) /
+                  width_;
+  }
+
+  BranchBoundResult run();
+
+ private:
+  const CoreTestSpec& core(std::size_t i) const {
+    return scheduler_.cores()[i];
+  }
+
+  /// Node bound over a prefix with `groups` fixed sessions whose summed
+  /// per-group bounds are `structural` (config included). All three terms
+  /// are admissible for any completion of the prefix (see
+  /// sched/lower_bound.hpp).
+  std::uint64_t bound(std::uint64_t structural, std::size_t groups) const {
+    const std::uint64_t sessions = std::max<std::uint64_t>(1, groups);
+    return std::max({structural, work_bound_ + reconfig_ * sessions,
+                     max_single_ + reconfig_});
+  }
+
+  /// Rebuilds the group assignment of the first node->depth cores.
+  std::vector<std::uint16_t> assignment_of(std::uint32_t id) const {
+    const Node* n = &arena_[id];
+    std::vector<std::uint16_t> group_of(n->depth);
+    while (n->depth > 0) {
+      group_of[n->depth - 1] = n->group;
+      n = &arena_[n->parent];
+    }
+    return group_of;
+  }
+
+  /// Completes a prefix greedily by bound deltas: each remaining core
+  /// joins the group whose lower bound grows least, or opens a new one
+  /// when that is cheaper. O(cores * groups) — the anytime workhorse on
+  /// instances too large to reach leaves by expansion.
+  std::vector<std::vector<std::size_t>> complete_greedily(
+      const std::vector<std::uint16_t>& group_of,
+      std::size_t groups_used) const {
+    std::vector<std::vector<std::size_t>> groups(groups_used);
+    std::vector<GroupBound> bounds(groups_used);
+    for (std::size_t i = 0; i < group_of.size(); ++i) {
+      groups[group_of[i]].push_back(scan_[i]);
+      bounds[group_of[i]].add(core(scan_[i]));
+    }
+    for (std::size_t i = group_of.size(); i < scan_.size(); ++i) {
+      const CoreTestSpec& c = core(scan_[i]);
+      GroupBound alone;
+      alone.add(c);
+      std::uint64_t best_delta =
+          alone.scan_lower_bound(width_) + reconfig_;
+      std::size_t best_group = groups.size();
+      for (std::size_t g = 0; g < groups.size(); ++g) {
+        GroupBound joined = bounds[g];
+        joined.add(c);
+        const std::uint64_t delta = joined.scan_lower_bound(width_) -
+                                    bounds[g].scan_lower_bound(width_);
+        if (delta < best_delta) {
+          best_delta = delta;
+          best_group = g;
+        }
+      }
+      if (best_group == groups.size()) {
+        groups.push_back({scan_[i]});
+        bounds.push_back(alone);
+      } else {
+        groups[best_group].push_back(scan_[i]);
+        bounds[best_group].add(c);
+      }
+    }
+    return groups;
+  }
+
+  /// Prices a complete partition; adopts it when it beats the incumbent.
+  void offer(std::vector<std::vector<std::size_t>> groups) {
+    const std::uint64_t total =
+        price_scan_partition(scheduler_, groups, bist_);
+    if (total < best_total_) {
+      best_total_ = total;
+      best_groups_ = std::move(groups);
+    }
+  }
+
+  const sched::SessionScheduler& scheduler_;
+  BranchBoundConfig config_;
+  unsigned width_;
+  std::uint64_t reconfig_;
+  std::vector<std::size_t> scan_, bist_;
+  std::uint64_t work_bound_ = 0;
+  std::uint64_t max_single_ = 0;
+
+  std::vector<Node> arena_;
+  std::uint64_t best_total_ = UINT64_MAX;
+  std::vector<std::vector<std::size_t>> best_groups_;
+};
+
+BranchBoundResult Search::run() {
+  BranchBoundResult result;
+
+  // Incumbent seeding: a bound-greedy completion from the empty prefix
+  // always; the classical heuristics' partitions too when the instance is
+  // small enough that their quadratic session pricing is negligible.
+  offer(complete_greedily({}, 0));
+  result.dives = 1;
+  if (scan_.size() <= 24) {
+    offer(sched::greedy_scan_groups(scheduler_));
+    offer({scan_});  // single session
+    std::vector<std::vector<std::size_t>> per_core;
+    for (const std::size_t c : scan_) per_core.push_back({c});
+    offer(std::move(per_core));
+  }
+
+  // Best-first expansion. The dive cadence is clamped to the budget so
+  // the anytime machinery still fires when the caller picks a budget
+  // smaller than the configured interval (the 1000-core bench rows).
+  const std::size_t dive_interval =
+      config_.dive_interval == 0
+          ? 0
+          : std::min(config_.dive_interval,
+                     std::max<std::size_t>(
+                         1, config_.node_budget / (config_.max_dives + 1)));
+  std::priority_queue<OpenEntry, std::vector<OpenEntry>,
+                      std::greater<OpenEntry>>
+      open;
+  arena_.push_back(Node{0, 0, 0, 0, bound(0, 0)});
+  open.push({arena_[0].f, 0});
+
+  bool budget_hit = false;
+  std::uint64_t frontier_bound = best_total_;
+  while (!open.empty()) {
+    if (result.nodes_expanded >= config_.node_budget) {
+      budget_hit = true;
+      frontier_bound = open.top().first;
+      break;
+    }
+    const auto [f, id] = open.top();
+    open.pop();
+    // Min-heap: once the cheapest open node cannot beat the incumbent,
+    // nothing can — the incumbent is proven optimal.
+    if (f >= best_total_) break;
+    ++result.nodes_expanded;
+
+    // Leaves are evaluated lazily, in bound order: full partition pricing
+    // is the expensive step, so it only happens for leaves that still
+    // look competitive when they reach the heap top — and it counts
+    // against the node budget like any other expansion.
+    if (arena_[id].depth == scan_.size()) {
+      const std::vector<std::uint16_t> leaf_groups = assignment_of(id);
+      std::vector<std::vector<std::size_t>> groups(arena_[id].groups_used);
+      for (std::size_t i = 0; i < leaf_groups.size(); ++i)
+        groups[leaf_groups[i]].push_back(scan_[i]);
+      ++result.leaves_priced;
+      offer(std::move(groups));
+      continue;
+    }
+
+    if (dive_interval > 0 && result.dives < config_.max_dives &&
+        result.nodes_expanded % dive_interval == 0) {
+      const Node& n = arena_[id];
+      offer(complete_greedily(assignment_of(id), n.groups_used));
+      ++result.dives;
+    }
+
+    // Rebuild the prefix state (group membership + incremental bounds).
+    const std::vector<std::uint16_t> group_of = assignment_of(id);
+    const std::size_t depth = group_of.size();
+    const std::size_t groups_used = arena_[id].groups_used;
+    std::vector<GroupBound> bounds(groups_used);
+    std::vector<std::uint64_t> bound_of(groups_used, 0);
+    std::uint64_t structural = 0;
+    for (std::size_t i = 0; i < depth; ++i)
+      bounds[group_of[i]].add(core(scan_[i]));
+    for (std::size_t g = 0; g < groups_used; ++g) {
+      bound_of[g] = bounds[g].scan_lower_bound(width_) + reconfig_;
+      structural += bound_of[g];
+    }
+
+    const CoreTestSpec& next = core(scan_[depth]);
+    for (std::size_t g = 0; g <= groups_used; ++g) {
+      const bool fresh = g == groups_used;
+      GroupBound joined = fresh ? GroupBound{} : bounds[g];
+      joined.add(next);
+      const std::uint64_t joined_bound =
+          joined.scan_lower_bound(width_) + reconfig_;
+      const std::uint64_t child_structural =
+          structural - (fresh ? 0 : bound_of[g]) + joined_bound;
+      const std::size_t child_groups = groups_used + (fresh ? 1 : 0);
+      const std::uint64_t child_f = bound(child_structural, child_groups);
+      if (child_f >= best_total_) continue;  // pruned
+
+      arena_.push_back(Node{id, static_cast<std::uint16_t>(depth + 1),
+                            static_cast<std::uint16_t>(g),
+                            static_cast<std::uint16_t>(child_groups),
+                            child_f});
+      open.push({child_f, static_cast<std::uint32_t>(arena_.size() - 1)});
+    }
+  }
+
+  result.optimal = !budget_hit;
+  result.best_cost = best_total_;
+  result.lower_bound =
+      result.optimal ? best_total_ : std::min(best_total_, frontier_bound);
+
+  std::vector<sched::ScheduledSession> sessions;
+  result.schedule.total_cycles =
+      price_scan_partition(scheduler_, best_groups_, bist_, &sessions);
+  result.schedule.sessions = std::move(sessions);
+  return result;
+}
+
+}  // namespace
+
+BranchBoundScheduler::BranchBoundScheduler(
+    const sched::SessionScheduler& scheduler, BranchBoundConfig config)
+    : scheduler_(scheduler), config_(config) {}
+
+BranchBoundResult BranchBoundScheduler::run() const {
+  // Pure-BIST SoCs have no partition dimension to search: length-sorted
+  // chunking is provably optimal (session i's cost equals its lower
+  // bound, the i*width-th longest engine, with the minimum session
+  // count), so the certificate is exact without any expansion.
+  bool any_scan = false;
+  for (const auto& c : scheduler_.cores()) any_scan |= c.is_scan();
+  if (!any_scan) {
+    BranchBoundResult result;
+    result.schedule = sched::optimal_pure_bist_schedule(scheduler_);
+    result.best_cost = result.schedule.total_cycles;
+    result.lower_bound = result.best_cost;
+    result.optimal = true;
+    return result;
+  }
+  Search search(scheduler_, config_);
+  return search.run();
+}
+
+}  // namespace casbus::explore

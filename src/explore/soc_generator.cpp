@@ -1,0 +1,233 @@
+#include "explore/soc_generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+
+#include "util/rng.hpp"
+
+namespace casbus::explore {
+
+namespace {
+
+/// Uniform double in [0, 1).
+double unit(Rng& rng) {
+  return static_cast<double>(rng.next() >> 11) * 0x1.0p-53;
+}
+
+/// Log-uniform draw in [lo, hi] — the size distribution of real cores:
+/// every decade equally likely, so a population mixes a few very large
+/// cores with a long tail of small ones.
+double log_range(Rng& rng, double lo, double hi) {
+  return lo * std::exp2(unit(rng) * std::log2(hi / lo));
+}
+
+std::size_t log_range_sz(Rng& rng, double lo, double hi) {
+  return static_cast<std::size_t>(std::llround(log_range(rng, lo, hi)));
+}
+
+/// Per-profile shape parameters.
+struct ProfileShape {
+  double scan_fraction;       ///< probability a leaf core is scan-tested
+  double wide_core_fraction;  ///< chance of a many-chain (wrapped) core
+  double chain_lo, chain_hi;  ///< log-uniform per-core chain-length scale
+  double patt_lo, patt_hi;    ///< log-uniform pattern budget
+  double bist_lo, bist_hi;    ///< log-uniform BIST session length
+};
+
+ProfileShape shape_of(SocProfile profile) {
+  switch (profile) {
+    case SocProfile::Mixed:
+      return {0.62, 0.25, 40, 1500, 32, 4000, 2000, 400000};
+    case SocProfile::ScanHeavy:
+      return {0.92, 0.35, 60, 2500, 64, 8000, 2000, 200000};
+    case SocProfile::BistHeavy:
+      return {0.30, 0.20, 30, 900, 32, 2000, 10000, 2000000};
+    case SocProfile::Hierarchical:
+      return {0.80, 0.15, 30, 800, 32, 2500, 4000, 500000};
+  }
+  CASBUS_REQUIRE(false, "shape_of: invalid profile");
+  return {};  // unreachable
+}
+
+sched::CoreTestSpec make_scan_core(Rng& rng, const ProfileShape& s,
+                                   std::string name) {
+  sched::CoreTestSpec core;
+  core.name = std::move(name);
+  std::size_t chains = 1 + rng.below(4);
+  if (rng.coin(s.wide_core_fraction)) chains += rng.below(12);  // up to 16
+  const double scale = log_range(rng, s.chain_lo, s.chain_hi);
+  for (std::size_t c = 0; c < chains; ++c) {
+    const double jitter = 0.75 + 0.5 * unit(rng);
+    core.chains.push_back(std::max<std::size_t>(
+        8, static_cast<std::size_t>(std::llround(scale * jitter))));
+  }
+  core.patterns = std::max<std::size_t>(
+      8, log_range_sz(rng, s.patt_lo, s.patt_hi));
+  return core;
+}
+
+sched::CoreTestSpec make_bist_core(Rng& rng, const ProfileShape& s,
+                                   std::string name) {
+  sched::CoreTestSpec core;
+  core.name = std::move(name);
+  core.bist_cycles =
+      std::max<std::uint64_t>(64, log_range_sz(rng, s.bist_lo, s.bist_hi));
+  return core;
+}
+
+}  // namespace
+
+const char* profile_name(SocProfile p) noexcept {
+  switch (p) {
+    case SocProfile::Mixed: return "mixed";
+    case SocProfile::ScanHeavy: return "scan_heavy";
+    case SocProfile::BistHeavy: return "bist_heavy";
+    case SocProfile::Hierarchical: return "hierarchical";
+  }
+  return "unknown";
+}
+
+SocProfile profile_from_name(std::string_view name) {
+  if (name == "mixed") return SocProfile::Mixed;
+  if (name == "scan_heavy") return SocProfile::ScanHeavy;
+  if (name == "bist_heavy") return SocProfile::BistHeavy;
+  if (name == "hierarchical") return SocProfile::Hierarchical;
+  CASBUS_REQUIRE(false, "unknown SoC profile: " + std::string(name));
+  return SocProfile::Mixed;  // unreachable
+}
+
+std::size_t GeneratedSoc::scan_core_count() const {
+  std::size_t n = 0;
+  for (const auto& c : cores) n += c.is_scan() ? 1 : 0;
+  return n;
+}
+
+std::size_t GeneratedSoc::bist_core_count() const {
+  return cores.size() - scan_core_count();
+}
+
+std::uint64_t GeneratedSoc::total_scan_bits() const {
+  std::uint64_t n = 0;
+  for (const auto& c : cores) n += c.total_scan_bits();
+  return n;
+}
+
+GeneratedSoc SocGenerator::generate(std::size_t cores, SocProfile profile,
+                                    std::size_t instance) const {
+  CASBUS_REQUIRE(cores >= 1, "SocGenerator: need at least one core");
+  // Stream derivation: population identity first, instance second, so
+  // every (seed, cores, profile, instance) tuple is an independent,
+  // reproducible stream.
+  const std::uint64_t population = Rng::derive_stream(
+      seed_, static_cast<std::uint64_t>(profile) * 0x10000003ULL + cores);
+  Rng rng(Rng::derive_stream(population, instance));
+
+  const ProfileShape s = shape_of(profile);
+  GeneratedSoc soc;
+  soc.profile = profile;
+  soc.requested_cores = cores;
+  soc.name = std::string(profile_name(profile)) + "-" +
+             std::to_string(cores) + "#" + std::to_string(instance);
+
+  if (profile == SocProfile::Hierarchical) {
+    // Leaf cores are clustered under parent CAS tunnels; a cluster is
+    // scheduled as one aggregate core (child chains concatenated into the
+    // parent's port view, pattern budget = the slowest child's).
+    std::size_t consumed = 0;
+    std::size_t id = 0;
+    while (consumed < cores) {
+      if (rng.coin(0.25) || cores - consumed == 1) {
+        if (rng.coin(s.scan_fraction))
+          soc.cores.push_back(
+              make_scan_core(rng, s, "leaf" + std::to_string(id)));
+        else
+          soc.cores.push_back(
+              make_bist_core(rng, s, "engine" + std::to_string(id)));
+        consumed += 1;
+      } else {
+        const std::size_t size =
+            std::min<std::size_t>(2 + rng.below(7), cores - consumed);
+        sched::CoreTestSpec cluster;
+        cluster.name = "cluster" + std::to_string(id) + "x" +
+                       std::to_string(size);
+        for (std::size_t child = 0; child < size; ++child) {
+          const sched::CoreTestSpec leaf =
+              make_scan_core(rng, s, "child");
+          // One tunnel wire per child: the child's chains arrive
+          // concatenated on its wire, so the cluster contributes one
+          // chain of the child's total length.
+          cluster.chains.push_back(leaf.total_scan_bits());
+          cluster.patterns = std::max(cluster.patterns, leaf.patterns);
+        }
+        soc.cores.push_back(std::move(cluster));
+        consumed += size;
+      }
+      ++id;
+    }
+  } else {
+    for (std::size_t i = 0; i < cores; ++i) {
+      if (rng.coin(s.scan_fraction))
+        soc.cores.push_back(
+            make_scan_core(rng, s, "core" + std::to_string(i)));
+      else
+        soc.cores.push_back(
+            make_bist_core(rng, s, "engine" + std::to_string(i)));
+    }
+  }
+
+  // At least one BIST wire must leave a scan wire free on the narrowest
+  // sweeps; sqrt(cores) tracks how much session concurrency is worth
+  // paying for in bus area (§3.2 trade-off).
+  const auto root = static_cast<unsigned>(
+      std::llround(std::sqrt(static_cast<double>(cores))));
+  soc.suggested_width = std::clamp(root, 8u, 64u);
+  return soc;
+}
+
+std::vector<floor::JobSpec> SocGenerator::floor_jobs(
+    std::size_t count, SocProfile profile) const {
+  // Scenario by profile; strategies cycle through the executable set so a
+  // replayed population exercises the new search strategies end-to-end.
+  constexpr sched::Strategy kStrategies[] = {
+      sched::Strategy::Greedy,      sched::Strategy::BranchBound,
+      sched::Strategy::Phased,      sched::Strategy::Exact,
+      sched::Strategy::BranchBound, sched::Strategy::Single,
+      sched::Strategy::PerCore,     sched::Strategy::BranchBound,
+  };
+  const std::uint64_t population = Rng::derive_stream(
+      seed_, 0xF100DULL + static_cast<std::uint64_t>(profile));
+
+  std::vector<floor::JobSpec> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    Rng rng(Rng::derive_stream(population, i));
+    floor::JobSpec spec;
+    spec.id = i;
+    spec.seed = rng.next();
+    switch (profile) {
+      case SocProfile::Mixed:
+        spec.scenario = static_cast<floor::ScenarioKind>(
+            rng.below(floor::kScenarioCount));
+        break;
+      case SocProfile::ScanHeavy:
+        spec.scenario = floor::ScenarioKind::ScanOnly;
+        break;
+      case SocProfile::BistHeavy:
+        spec.scenario = rng.coin(0.75) ? floor::ScenarioKind::BistJoin
+                                       : floor::ScenarioKind::Maintenance;
+        break;
+      case SocProfile::Hierarchical:
+        spec.scenario = floor::ScenarioKind::Hierarchical;
+        break;
+    }
+    spec.strategy = kStrategies[rng.below(std::size(kStrategies))];
+    spec.cores = 2 + rng.below(3);                             // 2..4
+    spec.bus_width = 4 + static_cast<unsigned>(rng.below(3));  // 4..6
+    spec.patterns_per_ff = 1;
+    jobs.push_back(spec);
+  }
+  return jobs;
+}
+
+}  // namespace casbus::explore

@@ -1,66 +1,139 @@
 #include "sched/exact.hpp"
 
+#include <algorithm>
 #include <functional>
 
-#include <algorithm>
+#include "sched/lower_bound.hpp"
 
 namespace casbus::sched {
 
-namespace {
-
-/// Prices a full partition: scan groups as sessions, then BIST cores
-/// slotted greedily (same policy as SessionScheduler::greedy, so the
-/// search optimizes over the scan partition — the dominant dimension).
-std::uint64_t price_partition(
-    const SessionScheduler& sched,
-    const std::vector<std::vector<std::size_t>>& groups,
-    const std::vector<std::size_t>& bist, unsigned width,
+std::uint64_t price_scan_partition(
+    const SessionScheduler& scheduler,
+    const std::vector<std::vector<std::size_t>>& scan_groups,
+    const std::vector<std::size_t>& bist_cores,
     std::vector<ScheduledSession>* out_sessions) {
-  std::vector<std::vector<std::size_t>> group_bist(groups.size());
-  std::vector<std::vector<std::size_t>> extra;
+  const unsigned width = scheduler.width();
+  const std::uint64_t config = scheduler.reconfig_cost();
+  const std::vector<CoreTestSpec>& cores = scheduler.cores();
 
-  for (const std::size_t core : bist) {
-    std::size_t best_group = groups.size();
-    std::uint64_t best_delta =
-        sched.price_session({}, {core}).total_cycles();
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      if (group_bist[g].size() + 1 >= width) continue;
-      std::vector<std::size_t> with = group_bist[g];
-      with.push_back(core);
-      const std::uint64_t t_with =
-          sched.price_session(groups[g], with).total_cycles();
+  // Per-group session state. The only way a co-tenant BIST engine changes
+  // the scan term is by occupying wires, so scan terms are memoized per
+  // (group, occupied-wire count) — the greedy slotting loop below then
+  // prices each geometry once instead of re-balancing per candidate.
+  struct Group {
+    std::vector<ChainItem> items;
+    std::size_t patterns = 0;
+    std::vector<std::uint64_t> term;  ///< scan term at k BIST wires; lazy
+    std::uint64_t max_bist = 0;
+    std::size_t n_bist = 0;
+  };
+  std::vector<Group> gs(scan_groups.size());
+  for (std::size_t g = 0; g < scan_groups.size(); ++g) {
+    for (const std::size_t c : scan_groups[g]) {
+      for (std::size_t ch = 0; ch < cores[c].chains.size(); ++ch)
+        gs[g].items.push_back(ChainItem{c, ch, cores[c].chains[ch]});
+      gs[g].patterns = std::max(gs[g].patterns, cores[c].patterns);
+    }
+    gs[g].term.assign(width, UINT64_MAX);
+  }
+  const auto scan_term = [&](Group& g, std::size_t k) {
+    if (g.term[k] == UINT64_MAX) {
+      const auto wires = static_cast<unsigned>(width - k);
+      g.term[k] = scan_cycles(
+          assign_lpt_grouped_refined(g.items, wires).max_load(), g.patterns);
+    }
+    return g.term[k];
+  };
+
+  // Greedy BIST slotting, same policy (and same tie-breaks) as
+  // SessionScheduler::greedy: each engine joins the session whose total
+  // grows least, or gets a dedicated session when that is cheaper.
+  std::vector<std::vector<std::size_t>> group_bist(scan_groups.size());
+  std::vector<std::size_t> extra;
+  for (const std::size_t core : bist_cores) {
+    const std::uint64_t standalone = cores[core].bist_cycles + config;
+    std::size_t best_group = scan_groups.size();
+    std::uint64_t best_delta = standalone;
+    for (std::size_t g = 0; g < scan_groups.size(); ++g) {
+      if (gs[g].n_bist + 1 >= width) continue;  // keep 1 scan wire
       const std::uint64_t t_without =
-          sched.price_session(groups[g], group_bist[g]).total_cycles();
+          std::max(scan_term(gs[g], gs[g].n_bist), gs[g].max_bist) + config;
+      const std::uint64_t t_with =
+          std::max(scan_term(gs[g], gs[g].n_bist + 1),
+                   std::max(gs[g].max_bist, cores[core].bist_cycles)) +
+          config;
       if (t_with - t_without < best_delta) {
         best_delta = t_with - t_without;
         best_group = g;
       }
     }
-    if (best_group < groups.size())
+    if (best_group < scan_groups.size()) {
       group_bist[best_group].push_back(core);
-    else
-      extra.push_back({core});
+      gs[best_group].n_bist += 1;
+      gs[best_group].max_bist =
+          std::max(gs[best_group].max_bist, cores[core].bist_cycles);
+    } else {
+      extra.push_back(core);
+    }
   }
 
   std::uint64_t total = 0;
   if (out_sessions != nullptr) out_sessions->clear();
-  for (std::size_t g = 0; g < groups.size(); ++g) {
-    ScheduledSession s = sched.price_session(groups[g], group_bist[g]);
-    total += s.total_cycles();
-    if (out_sessions != nullptr) out_sessions->push_back(std::move(s));
+  for (std::size_t g = 0; g < scan_groups.size(); ++g) {
+    total += std::max(scan_term(gs[g], gs[g].n_bist), gs[g].max_bist) + config;
+    if (out_sessions != nullptr)
+      out_sessions->push_back(
+          scheduler.price_session(scan_groups[g], group_bist[g]));
   }
-  for (const auto& chunk : extra) {
-    ScheduledSession s = sched.price_session({}, chunk);
-    total += s.total_cycles();
-    if (out_sessions != nullptr) out_sessions->push_back(std::move(s));
+  for (const std::size_t core : extra) {
+    total += cores[core].bist_cycles + config;
+    if (out_sessions != nullptr)
+      out_sessions->push_back(scheduler.price_session({}, {core}));
   }
   return total;
 }
 
-}  // namespace
+std::vector<std::vector<std::size_t>> greedy_scan_groups(
+    const SessionScheduler& scheduler) {
+  std::vector<std::vector<std::size_t>> groups;
+  for (const ScheduledSession& s : scheduler.greedy().sessions)
+    if (!s.scan_cores.empty()) groups.push_back(s.scan_cores);
+  return groups;
+}
+
+Schedule optimal_pure_bist_schedule(const SessionScheduler& scheduler) {
+  std::vector<std::size_t> bist;
+  for (std::size_t i = 0; i < scheduler.cores().size(); ++i) {
+    CASBUS_REQUIRE(!scheduler.cores()[i].is_scan(),
+                   "optimal_pure_bist_schedule: scan cores present");
+    bist.push_back(i);
+  }
+  // Session cost is max(engine) + config, so sort by length and chunk
+  // width at a time: session i's cost then equals its lower bound (the
+  // i*width-th longest engine) and the session count is minimal — input-
+  // order chunking (what single_session does) can be arbitrarily worse
+  // when long and short engines interleave.
+  std::stable_sort(bist.begin(), bist.end(), [&](std::size_t a,
+                                                 std::size_t b) {
+    return scheduler.cores()[a].bist_cycles >
+           scheduler.cores()[b].bist_cycles;
+  });
+  Schedule schedule;
+  const unsigned width = scheduler.width();
+  for (std::size_t i = 0; i < bist.size(); i += width) {
+    const std::vector<std::size_t> chunk(
+        bist.begin() + static_cast<std::ptrdiff_t>(i),
+        bist.begin() + static_cast<std::ptrdiff_t>(
+                           std::min<std::size_t>(i + width, bist.size())));
+    schedule.sessions.push_back(scheduler.price_session({}, chunk));
+    schedule.total_cycles += schedule.sessions.back().total_cycles();
+  }
+  return schedule;
+}
 
 ExactResult exact_schedule(const SessionScheduler& scheduler,
-                           std::size_t max_cores) {
+                           std::size_t max_cores,
+                           bool compute_heuristic_gap) {
   std::vector<std::size_t> scan, bist;
   for (std::size_t i = 0; i < scheduler.cores().size(); ++i) {
     if (scheduler.cores()[i].is_scan())
@@ -72,45 +145,106 @@ ExactResult exact_schedule(const SessionScheduler& scheduler,
                  "exact_schedule: instance too large for exhaustive search");
 
   ExactResult result;
-  std::uint64_t best_total = UINT64_MAX;
-  std::vector<std::vector<std::size_t>> groups;
-  std::vector<std::vector<std::size_t>> best_groups;
+  const std::vector<CoreTestSpec>& cores = scheduler.cores();
+  const unsigned width = scheduler.width();
+  const std::uint64_t config = scheduler.reconfig_cost();
 
-  // Restricted-growth enumeration of set partitions.
+  if (scan.empty()) {
+    result.schedule = optimal_pure_bist_schedule(scheduler);
+    if (compute_heuristic_gap && result.schedule.total_cycles > 0)
+      result.heuristic_gap =
+          static_cast<double>(scheduler.best().total_cycles) /
+              static_cast<double>(result.schedule.total_cycles) -
+          1.0;
+    return result;
+  }
+
+  // Place demanding cores first so the lower bound bites early.
+  std::stable_sort(scan.begin(), scan.end(), [&](std::size_t a,
+                                                 std::size_t b) {
+    return core_session_lower_bound(cores[a], width) >
+           core_session_lower_bound(cores[b], width);
+  });
+
+  // Instance-wide wire-time conservation term of the node bound.
+  const std::uint64_t work_bound =
+      (total_wire_work(cores) + width - 1) / width;
+
+  // Incumbent: greedy's scan partition, re-priced by the shared evaluator
+  // so the seed is exactly comparable with search leaves.
+  std::vector<std::vector<std::size_t>> best_groups =
+      greedy_scan_groups(scheduler);
+  std::uint64_t best_total =
+      price_scan_partition(scheduler, best_groups, bist);
+
+  // Restricted-growth enumeration of set partitions with incremental
+  // per-group balance bounds. `structural` tracks the sum over open groups
+  // of (scan lower bound + configuration) — admissible because adding
+  // cores to a group can only raise its session's real cost.
+  std::vector<std::vector<std::size_t>> groups;
+  std::vector<GroupBound> bounds;
+  std::vector<std::uint64_t> bound_of;  // cached scan_lower_bound + config
+  std::uint64_t structural = 0;
+
   const std::function<void(std::size_t)> recurse = [&](std::size_t idx) {
     if (idx == scan.size()) {
       ++result.partitions_tried;
-      const std::uint64_t total = price_partition(
-          scheduler, groups, bist, scheduler.width(), nullptr);
+      const std::uint64_t total =
+          price_scan_partition(scheduler, groups, bist);
       if (total < best_total) {
         best_total = total;
         best_groups = groups;
       }
       return;
     }
-    for (std::size_t g = 0; g < groups.size(); ++g) {
-      groups[g].push_back(scan[idx]);
-      recurse(idx + 1);
-      groups[g].pop_back();
+    const CoreTestSpec& core = cores[scan[idx]];
+    for (std::size_t g = 0; g <= groups.size(); ++g) {
+      const bool fresh = g == groups.size();
+      const GroupBound saved = fresh ? GroupBound{} : bounds[g];
+      const std::uint64_t saved_bound = fresh ? 0 : bound_of[g];
+      if (fresh) {
+        groups.push_back({scan[idx]});
+        bounds.push_back({});
+        bound_of.push_back(0);
+      } else {
+        groups[g].push_back(scan[idx]);
+      }
+      bounds[g].add(core);
+      bound_of[g] = bounds[g].scan_lower_bound(width) + config;
+      structural += bound_of[g] - saved_bound;
+
+      const std::uint64_t node_bound = std::max(
+          structural,
+          work_bound + config * static_cast<std::uint64_t>(groups.size()));
+      if (node_bound >= best_total)
+        ++result.subtrees_pruned;
+      else
+        recurse(idx + 1);
+
+      structural -= bound_of[g] - saved_bound;
+      if (fresh) {
+        groups.pop_back();
+        bounds.pop_back();
+        bound_of.pop_back();
+      } else {
+        groups[g].pop_back();
+        bounds[g] = saved;
+        bound_of[g] = saved_bound;
+      }
     }
-    groups.push_back({scan[idx]});
-    recurse(idx + 1);
-    groups.pop_back();
   };
   recurse(0);
 
-  // Materialize the winning schedule.
-  if (scan.empty()) {
-    // Pure-BIST: single greedy chunking is already optimal up to order.
-    result.schedule = SessionScheduler(scheduler.cores(),
-                                       scheduler.width())
-                          .single_session();
-    return result;
-  }
+  // Materialize the winning schedule and the in-library heuristic gap.
   std::vector<ScheduledSession> sessions;
-  result.schedule.total_cycles = price_partition(
-      scheduler, best_groups, bist, scheduler.width(), &sessions);
+  result.schedule.total_cycles =
+      price_scan_partition(scheduler, best_groups, bist, &sessions);
   result.schedule.sessions = std::move(sessions);
+  if (compute_heuristic_gap && result.schedule.total_cycles > 0)
+    result.heuristic_gap =
+        static_cast<double>(scheduler.best().total_cycles) /
+            static_cast<double>(result.schedule.total_cycles) -
+        1.0;
   return result;
 }
 

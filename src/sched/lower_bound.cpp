@@ -1,0 +1,58 @@
+#include "sched/lower_bound.hpp"
+
+#include <algorithm>
+
+namespace casbus::sched {
+
+void GroupBound::add(const CoreTestSpec& core) {
+  sum_bits += core.total_scan_bits();
+  for (const std::size_t c : core.chains)
+    longest_chain = std::max(longest_chain, c);
+  max_patterns = std::max(max_patterns, core.patterns);
+}
+
+std::uint64_t GroupBound::scan_lower_bound(unsigned width) const {
+  CASBUS_REQUIRE(width >= 1, "GroupBound: width must be >= 1");
+  const std::size_t spread = (sum_bits + width - 1) / width;
+  return scan_cycles(std::max(longest_chain, spread), max_patterns);
+}
+
+std::uint64_t core_session_lower_bound(const CoreTestSpec& core,
+                                       unsigned width) {
+  if (!core.is_scan()) return core.bist_cycles;
+  GroupBound g;
+  g.add(core);
+  return g.scan_lower_bound(width);
+}
+
+std::uint64_t total_wire_work(const std::vector<CoreTestSpec>& cores) {
+  std::uint64_t work = 0;
+  for (const CoreTestSpec& c : cores) {
+    if (c.is_scan())
+      work += static_cast<std::uint64_t>(c.patterns) *
+              static_cast<std::uint64_t>(c.total_scan_bits());
+    else
+      work += c.bist_cycles;
+  }
+  return work;
+}
+
+std::uint64_t schedule_lower_bound(const std::vector<CoreTestSpec>& cores,
+                                   unsigned width,
+                                   std::uint64_t config_cycles) {
+  CASBUS_REQUIRE(width >= 1, "schedule_lower_bound: width must be >= 1");
+  // Wire-time conservation. A scan core shifts patterns * total_bits wire
+  // cycles no matter how its chains are spread or which session hosts it;
+  // a BIST engine holds one wire for its whole run. Rail plans divide the
+  // work *and* the wires, so the bound survives them too: the slowest rail
+  // is at least the average, and the average is total work over total
+  // width.
+  std::uint64_t most_demanding = 0;
+  for (const CoreTestSpec& c : cores)
+    most_demanding =
+        std::max(most_demanding, core_session_lower_bound(c, width));
+  const std::uint64_t spread = (total_wire_work(cores) + width - 1) / width;
+  return std::max(spread, most_demanding) + config_cycles;
+}
+
+}  // namespace casbus::sched

@@ -1,0 +1,62 @@
+/// \file lower_bound.hpp
+/// Admissible lower bounds on CAS-BUS test schedules.
+///
+/// These bounds underpin the exact scheduler's pruning and the
+/// branch-and-bound search in src/explore/: every function here provably
+/// underestimates the cost the pricing model (SessionScheduler) can charge
+/// for the same work, so a search that discards nodes whose bound meets the
+/// incumbent never discards an optimum. The key inequality is the classical
+/// balance/LPT makespan bound: a wire load can never drop below
+/// max(longest single chain, ceil(total bits / wires)), and scan_cycles()
+/// is monotone in both the load and the pattern count.
+
+#pragma once
+
+#include "sched/scheduler.hpp"
+
+namespace casbus::sched {
+
+/// Incrementally maintained aggregates of a (partial) session group. A
+/// branch-and-bound search adds one core at a time in O(1) and reads an
+/// admissible bound on whatever session the group eventually becomes.
+struct GroupBound {
+  std::size_t sum_bits = 0;       ///< total scan bits across member cores
+  std::size_t longest_chain = 0;  ///< longest single chain in the group
+  std::size_t max_patterns = 0;   ///< pattern budget the session must apply
+
+  void add(const CoreTestSpec& core);
+
+  /// Lower bound on the scan term of any session containing (at least)
+  /// these cores on at most \p width wires. Admissible versus
+  /// SessionScheduler pricing: the real session balances on
+  /// width - #BIST wires (fewer), with the grouped-placement constraint
+  /// (tighter), so its max load can only be larger.
+  [[nodiscard]] std::uint64_t scan_lower_bound(unsigned width) const;
+};
+
+/// Lower bound on any session that tests \p core — alone or with
+/// co-tenants — on a bus of \p width wires (configuration cost excluded).
+[[nodiscard]] std::uint64_t core_session_lower_bound(const CoreTestSpec& core,
+                                                     unsigned width);
+
+/// Total wire-cycles any schedule must spend on \p cores: scan shift work
+/// (patterns * bits per core — invariant under chain placement) plus BIST
+/// engine occupancy (one wire for the engine's whole run). Divided by the
+/// bus width this is the conservation term shared by schedule_lower_bound
+/// and the exact / branch-and-bound node bounds.
+[[nodiscard]] std::uint64_t total_wire_work(
+    const std::vector<CoreTestSpec>& cores);
+
+/// Proven lower bound on the total cycles of *any* schedule of \p cores on
+/// \p width wires — session partitions, phased rebalancing, and rail
+/// emulation alike. Two arguments combine:
+///  - wire-time conservation: T * width wire-cycles must cover every scan
+///    bit shifted (sum of patterns * bits per core) plus every BIST
+///    engine's occupancy, and
+///  - the most demanding single core bounds the program from below.
+/// Every schedule pays for at least one configuration (\p config_cycles).
+[[nodiscard]] std::uint64_t schedule_lower_bound(
+    const std::vector<CoreTestSpec>& cores, unsigned width,
+    std::uint64_t config_cycles);
+
+}  // namespace casbus::sched

@@ -3,6 +3,15 @@
 #include <algorithm>
 #include <numeric>
 
+// Deliberate upward dependency (cpp-only, no header cycle): Strategy is
+// the run-time selection vocabulary of the whole tree, so schedule_with
+// must dispatch every strategy — including the branch-and-bound engine
+// that lives a layer above in src/explore. The casbus library is a single
+// archive; if sched ever needs to stand alone, this dispatch case is the
+// one seam to cut.
+#include "explore/branch_bound.hpp"
+#include "sched/exact.hpp"
+
 namespace casbus::sched {
 
 const char* strategy_name(Strategy s) noexcept {
@@ -12,6 +21,8 @@ const char* strategy_name(Strategy s) noexcept {
     case Strategy::Greedy: return "greedy";
     case Strategy::Phased: return "phased";
     case Strategy::Best: return "best";
+    case Strategy::Exact: return "exact";
+    case Strategy::BranchBound: return "branch_bound";
   }
   return "unknown";
 }
@@ -22,6 +33,8 @@ Strategy strategy_from_name(std::string_view name) {
   if (name == "greedy") return Strategy::Greedy;
   if (name == "phased") return Strategy::Phased;
   if (name == "best") return Strategy::Best;
+  if (name == "exact") return Strategy::Exact;
+  if (name == "branch_bound") return Strategy::BranchBound;
   CASBUS_REQUIRE(false, "unknown scheduling strategy: " + std::string(name));
   return Strategy::Greedy;  // unreachable
 }
@@ -33,6 +46,13 @@ Schedule SessionScheduler::schedule_with(Strategy s) const {
     case Strategy::Greedy: return greedy();
     case Strategy::Phased: return phased();
     case Strategy::Best: return best();
+    case Strategy::Exact:
+      // Gap-free dispatch: callers here want the schedule, not the
+      // best()-vs-optimal comparison.
+      return exact_schedule(*this, 12, /*compute_heuristic_gap=*/false)
+          .schedule;
+    case Strategy::BranchBound:
+      return explore::BranchBoundScheduler(*this).run().schedule;
   }
   CASBUS_REQUIRE(false, "schedule_with: invalid strategy");
   return {};  // unreachable
@@ -46,9 +66,6 @@ SessionScheduler::SessionScheduler(std::vector<CoreTestSpec> cores,
   for (const CoreTestSpec& c : cores_)
     CASBUS_REQUIRE(c.is_scan() || c.bist_cycles > 0,
                    "core needs scan chains or BIST: " + c.name);
-}
-
-std::uint64_t SessionScheduler::reconfig_cost() const {
   std::vector<std::pair<unsigned, unsigned>> geometries;
   geometries.reserve(cores_.size());
   for (const CoreTestSpec& c : cores_) {
@@ -56,7 +73,7 @@ std::uint64_t SessionScheduler::reconfig_cost() const {
         c.is_scan() ? std::min<std::size_t>(c.chains.size(), width_) : 1);
     geometries.emplace_back(width_, p);
   }
-  return session_config_cycles(geometries, cores_.size());
+  reconfig_cost_ = session_config_cycles(geometries, cores_.size());
 }
 
 ScheduledSession SessionScheduler::make_session(

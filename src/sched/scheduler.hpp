@@ -29,14 +29,17 @@ namespace casbus::sched {
 /// winner may require per-group sequencing the broadcast-WSC controller
 /// cannot execute (Schedule::chip_synchronous == false).
 enum class Strategy {
-  Single,   ///< SessionScheduler::single_session()
-  PerCore,  ///< SessionScheduler::per_core_sessions()
-  Greedy,   ///< SessionScheduler::greedy()
-  Phased,   ///< SessionScheduler::phased()
-  Best,     ///< SessionScheduler::best()
+  Single,      ///< SessionScheduler::single_session()
+  PerCore,     ///< SessionScheduler::per_core_sessions()
+  Greedy,      ///< SessionScheduler::greedy()
+  Phased,      ///< SessionScheduler::phased()
+  Best,        ///< SessionScheduler::best()
+  Exact,       ///< sched::exact_schedule — optimal, small instances only
+  BranchBound, ///< explore::BranchBoundScheduler — anytime best-first B&B
 };
 
-/// Stable lowercase name ("single", "per_core", "greedy", "phased", "best").
+/// Stable lowercase name ("single", "per_core", "greedy", "phased",
+/// "best", "exact", "branch_bound").
 [[nodiscard]] const char* strategy_name(Strategy s) noexcept;
 
 /// Inverse of strategy_name(); throws PreconditionError on unknown names.
@@ -115,12 +118,18 @@ class SessionScheduler {
   [[nodiscard]] Schedule best() const;
 
   /// Dispatches to the strategy named by \p s — the run-time-selection
-  /// entry point used by the test floor and the CLIs.
+  /// entry point used by the test floor and the CLIs. Strategy::Exact
+  /// throws (via exact_schedule) beyond ~12 scan cores;
+  /// Strategy::BranchBound runs the default-budget branch-and-bound and
+  /// always returns a chip-synchronous partition schedule.
   [[nodiscard]] Schedule schedule_with(Strategy s) const;
 
   /// Cycles to reconfigure between sessions on this SoC (every CAS IR plus
-  /// the wrapper ring).
-  [[nodiscard]] std::uint64_t reconfig_cost() const;
+  /// the wrapper ring). Computed once at construction — it depends only on
+  /// the core list — so per-session pricing stays O(balance).
+  [[nodiscard]] std::uint64_t reconfig_cost() const noexcept {
+    return reconfig_cost_;
+  }
 
   /// Prices one candidate session with the shared cost model — public so
   /// external search strategies (e.g. sched::exact_schedule) stay
@@ -144,6 +153,7 @@ class SessionScheduler {
 
   std::vector<CoreTestSpec> cores_;
   unsigned width_;
+  std::uint64_t reconfig_cost_ = 0;
 };
 
 }  // namespace casbus::sched

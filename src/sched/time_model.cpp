@@ -1,11 +1,22 @@
 #include "sched/time_model.hpp"
 
+#include <cmath>
+
+#include "core/arrangement.hpp"
 #include "core/instruction.hpp"
 
 namespace casbus::sched {
 
 unsigned cas_ir_bits(unsigned n, unsigned p) {
-  return tam::InstructionSet(n, p).k();
+  // A(N,P) overflows 64 bits for wide, many-port CASes (e.g. N=32, P=16 —
+  // geometries the 100–1000-core synthetic SoCs reach), but k =
+  // ceil(log2(A+2)) stays tiny. Below 2^62 the product provably fits and
+  // the instruction set gives the Table-1-exact k; above, the ceil of the
+  // logarithm (the +2 special codes are negligible at that magnitude).
+  CASBUS_REQUIRE(p >= 1 && p <= n, "cas_ir_bits: need 1 <= p <= n");
+  const double log2_a = tam::log2_arrangement_count(n, p);
+  if (log2_a <= 62.0) return tam::InstructionSet(n, p).k();
+  return static_cast<unsigned>(std::ceil(log2_a));
 }
 
 std::uint64_t session_config_cycles(

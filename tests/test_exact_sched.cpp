@@ -1,27 +1,67 @@
-// The exhaustive scheduler: optimality sanity and heuristic-gap bounds.
+// The exhaustive scheduler: optimality sanity, pruning soundness, and
+// heuristic-gap bounds.
+
+#include <functional>
 
 #include <gtest/gtest.h>
 
 #include "sched/exact.hpp"
+#include "sched/lower_bound.hpp"
 #include "util/rng.hpp"
 
 namespace casbus::sched {
 namespace {
 
+std::vector<CoreTestSpec> random_instance(Rng& rng, std::size_t min_cores,
+                                          std::size_t extra) {
+  std::vector<CoreTestSpec> cores;
+  const std::size_t n = min_cores + rng.below(extra);
+  for (std::size_t i = 0; i < n; ++i) {
+    CoreTestSpec c;
+    c.name = "c" + std::to_string(i);
+    const std::size_t chains = 1 + rng.below(3);
+    for (std::size_t k = 0; k < chains; ++k)
+      c.chains.push_back(10 + rng.below(120));
+    c.patterns = 10 + rng.below(200);
+    cores.push_back(std::move(c));
+  }
+  return cores;
+}
+
+/// Unpruned reference: minimum over every scan partition, priced with the
+/// same shared evaluator the search uses.
+std::uint64_t brute_force_optimum(const SessionScheduler& s) {
+  std::vector<std::size_t> scan, bist;
+  for (std::size_t i = 0; i < s.cores().size(); ++i) {
+    if (s.cores()[i].is_scan())
+      scan.push_back(i);
+    else
+      bist.push_back(i);
+  }
+  std::uint64_t best = UINT64_MAX;
+  std::vector<std::vector<std::size_t>> groups;
+  const std::function<void(std::size_t)> recurse = [&](std::size_t idx) {
+    if (idx == scan.size()) {
+      best = std::min(best, price_scan_partition(s, groups, bist));
+      return;
+    }
+    for (std::size_t g = 0; g < groups.size(); ++g) {
+      groups[g].push_back(scan[idx]);
+      recurse(idx + 1);
+      groups[g].pop_back();
+    }
+    groups.push_back({scan[idx]});
+    recurse(idx + 1);
+    groups.pop_back();
+  };
+  recurse(0);
+  return best;
+}
+
 TEST(ExactScheduler, NeverWorseThanAnyHeuristic) {
   Rng rng(17);
   for (int trial = 0; trial < 8; ++trial) {
-    std::vector<CoreTestSpec> cores;
-    const std::size_t n = 3 + rng.below(4);  // 3..6 scan cores
-    for (std::size_t i = 0; i < n; ++i) {
-      CoreTestSpec c;
-      c.name = "c" + std::to_string(i);
-      const std::size_t chains = 1 + rng.below(3);
-      for (std::size_t k = 0; k < chains; ++k)
-        c.chains.push_back(10 + rng.below(120));
-      c.patterns = 10 + rng.below(200);
-      cores.push_back(std::move(c));
-    }
+    std::vector<CoreTestSpec> cores = random_instance(rng, 3, 4);
     if (rng.coin()) cores.push_back(CoreTestSpec{"b", {}, 0, 500});
 
     const auto width = static_cast<unsigned>(2 + rng.below(5));
@@ -36,7 +76,20 @@ TEST(ExactScheduler, NeverWorseThanAnyHeuristic) {
         << "trial " << trial;
     EXPECT_LE(exact.schedule.total_cycles, s.greedy().total_cycles)
         << "trial " << trial;
-    EXPECT_GT(exact.partitions_tried, 0u);
+  }
+}
+
+TEST(ExactScheduler, PruningPreservesOptimality) {
+  // The lower-bound pruning must never cut the optimum: compare against a
+  // full unpruned enumeration on random instances.
+  Rng rng(41);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::vector<CoreTestSpec> cores = random_instance(rng, 3, 4);
+    if (rng.coin()) cores.push_back(CoreTestSpec{"b", {}, 0, 2000});
+    SessionScheduler s(cores, static_cast<unsigned>(2 + rng.below(4)));
+    const ExactResult exact = exact_schedule(s);
+    EXPECT_EQ(exact.schedule.total_cycles, brute_force_optimum(s))
+        << "trial " << trial;
   }
 }
 
@@ -66,11 +119,28 @@ TEST(ExactScheduler, GreedyStaysWithinModestGapOnSmallInstances) {
   EXPECT_LT(worst_gap, 0.25) << "greedy strayed too far from optimal";
 }
 
+TEST(ExactScheduler, HeuristicGapComputedInLibrary) {
+  Rng rng(29);
+  std::vector<CoreTestSpec> cores = random_instance(rng, 4, 3);
+  SessionScheduler s(cores, 3);
+  const ExactResult exact = exact_schedule(s);
+  const double expected =
+      static_cast<double>(s.best().total_cycles) /
+          static_cast<double>(exact.schedule.total_cycles) -
+      1.0;
+  EXPECT_DOUBLE_EQ(exact.heuristic_gap, expected);
+  // best() can beat the partition optimum via rail emulation, so the gap
+  // may be negative — but never below -1.
+  EXPECT_GT(exact.heuristic_gap, -1.0);
+}
+
 TEST(ExactScheduler, SingleCoreIsTrivial) {
   std::vector<CoreTestSpec> cores = {CoreTestSpec{"only", {30, 30}, 50, 0}};
   SessionScheduler s(cores, 4);
   const ExactResult exact = exact_schedule(s);
-  EXPECT_EQ(exact.partitions_tried, 1u);
+  // The greedy incumbent already is the only partition; the search may
+  // prune everything.
+  EXPECT_LE(exact.partitions_tried, 1u);
   EXPECT_EQ(exact.schedule.total_cycles,
             s.per_core_sessions().total_cycles);
 }
@@ -83,13 +153,38 @@ TEST(ExactScheduler, RefusesOversizedInstances) {
   EXPECT_THROW((void)exact_schedule(s, 10), PreconditionError);
 }
 
-TEST(ExactScheduler, PartitionCountsAreBellNumbers) {
-  // 4 scan cores -> B(4) = 15 partitions.
+TEST(ExactScheduler, PruningCutsTheBellSearchSpace) {
+  // 4 scan cores -> B(4) = 15 partitions; the bound + greedy incumbent
+  // must price at most that many leaves (usually far fewer).
   std::vector<CoreTestSpec> cores;
   for (int i = 0; i < 4; ++i)
     cores.push_back(CoreTestSpec{"c" + std::to_string(i), {10}, 10, 0});
   SessionScheduler s(cores, 4);
-  EXPECT_EQ(exact_schedule(s).partitions_tried, 15u);
+  const ExactResult exact = exact_schedule(s);
+  EXPECT_LE(exact.partitions_tried, 15u);
+  EXPECT_GT(exact.partitions_tried + exact.subtrees_pruned, 0u);
+  EXPECT_EQ(exact.schedule.total_cycles, brute_force_optimum(s));
+}
+
+TEST(ExactScheduler, PrunedSearchHandlesTenCoresQuickly) {
+  // B(10) = 115975 partitions; with the balance bound the search prices a
+  // tiny fraction — this is what raised the practical core limit.
+  Rng rng(31);
+  std::vector<CoreTestSpec> cores;
+  for (int i = 0; i < 10; ++i) {
+    CoreTestSpec c;
+    c.name = "c" + std::to_string(i);
+    c.chains.push_back(20 + rng.below(150));
+    c.patterns = 20 + rng.below(200);
+    cores.push_back(std::move(c));
+  }
+  SessionScheduler s(cores, 4);
+  const ExactResult exact = exact_schedule(s);
+  EXPECT_GT(exact.subtrees_pruned, 0u);
+  EXPECT_LT(exact.partitions_tried, 115975u);
+  EXPECT_LE(exact.schedule.total_cycles, s.greedy().total_cycles);
+  EXPECT_GE(exact.schedule.total_cycles,
+            schedule_lower_bound(cores, 4, s.reconfig_cost()));
 }
 
 }  // namespace

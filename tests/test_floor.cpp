@@ -138,7 +138,8 @@ TEST(JobFactory, StrategyNamesRoundTrip) {
   using sched::Strategy;
   for (const Strategy s :
        {Strategy::Single, Strategy::PerCore, Strategy::Greedy,
-        Strategy::Phased, Strategy::Best}) {
+        Strategy::Phased, Strategy::Best, Strategy::Exact,
+        Strategy::BranchBound}) {
     EXPECT_EQ(sched::strategy_from_name(sched::strategy_name(s)), s);
   }
   EXPECT_THROW((void)sched::strategy_from_name("random"),
