@@ -1,16 +1,28 @@
 /// \file bench_floor.cpp
-/// Experiment FLOOR — test-floor service throughput scaling.
+/// Experiment FLOOR — test-floor service throughput: scaling, streaming,
+/// and repeated-spec caching.
 ///
-/// Streams one fixed, scenario-diverse batch of test programs (the default
-/// scan:4,bist:2,hier:1,maint:1 mix) through the TestFloor worker pool at
-/// 1, 2, 4, ... workers, reporting programs/sec and sim-cycles/sec per
-/// sweep point plus the speedup over the 1-worker baseline. Also checks
-/// the floor's determinism rule on the way: every sweep point must produce
-/// the same deterministic aggregate summary byte-for-byte.
+/// Part 1 (scaling): streams one fixed, scenario-diverse batch of test
+/// programs (the default scan:4,bist:2,hier:1,maint:1 mix) through the
+/// TestFloor worker pool at 1, 2, 4, ... workers, reporting programs/sec
+/// and sim-cycles/sec per sweep point plus the speedup over the 1-worker
+/// baseline. Also checks the floor's determinism rule on the way: every
+/// sweep point must produce the same deterministic aggregate summary
+/// byte-for-byte.
+///
+/// Part 2 (streaming): drives the live FloorSession API — jobs submitted
+/// while the workers run, producer throttled by the bounded queue — and
+/// verifies the streamed report is byte-identical to the batch adapter's.
+///
+/// Part 3 (cache): a repeated-spec mix run cold, with the program tier
+/// only, and with full verdict reuse, reporting each tier's honest
+/// speedup. For paper-sized SoCs scheduling is cheap, so the program tier
+/// is expected to be ~1x; verdict reuse is the production win.
 ///
 /// CI gates on the 4-vs-1-worker speedup (> 1.8x on the >= 4-vCPU
-/// runners); on smaller machines the sweep still runs and records the
-/// honest (smaller) ratio.
+/// runners) and on the repeated-spec mix beating the cold mix by >= 1.3x;
+/// on smaller machines the sweep still runs and records the honest
+/// (smaller) ratio.
 
 #include <algorithm>
 #include <iostream>
@@ -19,7 +31,9 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "explore/soc_generator.hpp"
 #include "floor/job_factory.hpp"
+#include "floor/session.hpp"
 #include "floor/test_floor.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -95,8 +109,10 @@ int main() {
     rep.record("scaling", params, "jobs_passed",
                static_cast<std::uint64_t>(report.total.passed));
 
-    // Per-scenario breakdown, recorded once (identical at every sweep
-    // point by the determinism rule, which is verified below).
+    // Per-scenario and per-stage breakdowns, recorded once (the scenario
+    // aggregates are identical at every sweep point by the determinism
+    // rule, which is verified below; stage seconds are timing and simply
+    // most meaningful serially).
     if (workers == 1) {
       for (std::size_t k = 0; k < kScenarioCount; ++k) {
         const ScenarioStats& s = report.scenario[k];
@@ -110,6 +126,12 @@ int main() {
                    static_cast<std::uint64_t>(s.passed));
         rep.record("scenario", sp, "sim_cycles", s.sim_cycles);
         rep.record("scenario", sp, "worst_deviation", s.worst_deviation);
+      }
+      for (std::size_t s = 0; s < kStageCount; ++s) {
+        rep.record("stages",
+                   {{"stage", stage_name(static_cast<Stage>(s))},
+                    {"seed", std::to_string(kSeed)}},
+                   "seconds", report.stage_seconds[s]);
       }
     }
   }
@@ -126,5 +148,133 @@ int main() {
              "deterministic_across_worker_counts",
              std::uint64_t{deterministic ? 1u : 0u});
 
-  return deterministic && all_pass ? 0 : 1;
+  // --- Part 2: streaming session (submit-while-running) ---------------------
+  banner("FLOOR-STREAM", "streaming session vs batch adapter");
+
+  const auto stream_jobs = explore::SocGenerator(kSeed).floor_jobs(
+      32, explore::SocProfile::Mixed);
+  FloorConfig stream_config;
+  stream_config.workers = 4;
+  stream_config.queue_capacity = 8;
+
+  const FloorReport batch_ref = TestFloor(stream_config).run(stream_jobs);
+
+  FloorSession session(stream_config);
+  std::size_t polled_live = 0;
+  bool stream_accepted = true;
+  for (const JobSpec& spec : stream_jobs) {
+    stream_accepted = stream_accepted && session.submit(spec);
+    polled_live += session.poll_results().size();
+  }
+  const FloorReport streamed = session.drain();
+
+  const bool streaming_deterministic =
+      streamed.deterministic_summary() == batch_ref.deterministic_summary();
+  std::cout << "streaming: " << streamed.total.jobs << " jobs at "
+            << stream_config.workers << " workers, queue capacity "
+            << stream_config.queue_capacity << ", "
+            << format_double(streamed.programs_per_sec(), 1)
+            << " programs/sec (" << polled_live
+            << " results polled live)\nstreamed == batch summary: "
+            << (streaming_deterministic ? "yes" : "NO — BUG") << "\n";
+
+  const JsonReporter::Params stream_params = {
+      {"workers", std::to_string(stream_config.workers)},
+      {"queue_capacity", std::to_string(stream_config.queue_capacity)},
+      {"jobs", std::to_string(stream_jobs.size())},
+      {"seed", std::to_string(kSeed)}};
+  rep.record("streaming", stream_params, "programs_per_sec",
+             streamed.programs_per_sec());
+  rep.record("streaming", stream_params, "wall_seconds",
+             streamed.wall_seconds);
+  rep.record("streaming", stream_params, "polled_live",
+             static_cast<std::uint64_t>(polled_live));
+  rep.record("streaming", stream_params, "matches_batch",
+             std::uint64_t{streaming_deterministic ? 1u : 0u});
+
+  // --- Part 3: repeated-spec mix through the per-worker caches --------------
+  banner("FLOOR-CACHE", "repeated-spec mix: program tier + verdict reuse");
+
+  constexpr std::size_t kCacheJobs = 48;
+  constexpr std::size_t kDistinct = 4;
+  const JobFactory cache_factory(kSeed);
+  std::vector<JobSpec> repeated;
+  repeated.reserve(kCacheJobs);
+  for (std::size_t i = 0; i < kCacheJobs; ++i) {
+    JobSpec spec = cache_factory.make_job(i % kDistinct);
+    spec.id = i;
+    spec.patterns_per_ff = 2;
+    repeated.push_back(spec);
+  }
+
+  struct CachePoint {
+    const char* label;
+    std::size_t cache_capacity;
+    bool reuse_verdicts;
+  };
+  const CachePoint points[] = {
+      {"cold", 0, false},
+      {"program_tier", 16, false},
+      {"warm", 16, true},
+  };
+
+  double cold_pps = 0.0;
+  double warm_speedup = 0.0;
+  bool cache_deterministic = true;
+  std::string cache_reference;
+  Table cache_table({"config", "wall s", "programs/s", "speedup",
+                     "cache hits"},
+                    {Align::Left, Align::Right, Align::Right, Align::Right,
+                     Align::Right});
+  for (const CachePoint& point : points) {
+    FloorConfig config;
+    config.workers = 4;
+    config.cache_capacity = point.cache_capacity;
+    config.reuse_verdicts = point.reuse_verdicts;
+    const FloorReport report = TestFloor(config).run(repeated);
+
+    const double pps = report.programs_per_sec();
+    if (std::string(point.label) == "cold") cold_pps = pps;
+    const double speedup = cold_pps > 0.0 ? pps / cold_pps : 0.0;
+    if (std::string(point.label) == "warm") warm_speedup = speedup;
+
+    if (cache_reference.empty())
+      cache_reference = report.deterministic_summary();
+    else if (report.deterministic_summary() != cache_reference)
+      cache_deterministic = false;
+    all_pass = all_pass && report.all_pass();
+
+    cache_table.add_row({point.label,
+                         format_double(report.wall_seconds, 3),
+                         format_double(pps, 1), format_double(speedup, 2),
+                         std::to_string(report.cache_hits) + "/" +
+                             std::to_string(report.total.jobs)});
+
+    const JsonReporter::Params params = {
+        {"config", point.label},
+        {"workers", "4"},
+        {"jobs", std::to_string(kCacheJobs)},
+        {"distinct_specs", std::to_string(kDistinct)},
+        {"seed", std::to_string(kSeed)}};
+    rep.record("cache", params, "programs_per_sec", pps);
+    rep.record("cache", params, "wall_seconds", report.wall_seconds);
+    rep.record("cache", params, "speedup_vs_cold", speedup);
+    rep.record("cache", params, "cache_hits",
+               static_cast<std::uint64_t>(report.cache_hits));
+    rep.record("cache", params, "cache_hit_rate",
+               report.total.jobs
+                   ? static_cast<double>(report.cache_hits) /
+                         static_cast<double>(report.total.jobs)
+                   : 0.0);
+  }
+  cache_table.print(std::cout);
+  std::cout << "\nrepeated-spec warm speedup vs cold: "
+            << format_double(warm_speedup, 2)
+            << "x\ndeterministic across cache settings: "
+            << (cache_deterministic ? "yes" : "NO — BUG") << "\n";
+
+  return deterministic && streaming_deterministic && cache_deterministic &&
+                 stream_accepted && all_pass
+             ? 0
+             : 1;
 }

@@ -11,25 +11,20 @@
 /// Pareto-optimal (time, area) points are marked '*' in the table.
 
 #include <cstdint>
-#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "explore/explorer.hpp"
+#include "util/cli.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
 namespace {
 
-[[noreturn]] void usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--cores N] [--profile mixed|scan_heavy|bist_heavy|"
-               "hierarchical] [--seed S] [--instance I]"
-               " [--widths 8,16,32]"
-               " [--strategies greedy,phased,branch_bound]"
-               " [--node-budget K]\n";
-  std::exit(2);
-}
+constexpr const char* kOptionsHelp =
+    "[--cores N] [--profile mixed|scan_heavy|bist_heavy|hierarchical]"
+    " [--seed S] [--instance I] [--widths 8,16,32]"
+    " [--strategies greedy,phased,branch_bound] [--node-budget K]";
 
 }  // namespace
 
@@ -43,35 +38,31 @@ int main(int argc, char** argv) {
   std::size_t instance = 0;
   ExploreConfig config;
 
+  cli::FlagParser cli(argc, argv, kOptionsHelp);
   try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      const auto value = [&]() -> std::string {
-        if (i + 1 >= argc) usage(argv[0]);
-        return argv[++i];
-      };
-      if (arg == "--cores") cores = std::stoul(value());
-      else if (arg == "--profile") profile = profile_from_name(value());
-      else if (arg == "--seed") seed = std::stoull(value());
-      else if (arg == "--instance") instance = std::stoul(value());
-      else if (arg == "--node-budget")
-        config.branch_bound.node_budget = std::stoul(value());
-      else if (arg == "--widths") {
+    while (cli.next()) {
+      if (cli.is("--cores")) cores = std::stoul(cli.value());
+      else if (cli.is("--profile")) profile = profile_from_name(cli.value());
+      else if (cli.is("--seed")) seed = std::stoull(cli.value());
+      else if (cli.is("--instance")) instance = std::stoul(cli.value());
+      else if (cli.is("--node-budget"))
+        config.branch_bound.node_budget = std::stoul(cli.value());
+      else if (cli.is("--widths")) {
         config.widths.clear();
-        for (const std::string& w : split(value(), ','))
+        for (const std::string& w : split(cli.value(), ','))
           config.widths.push_back(
               static_cast<unsigned>(std::stoul(w)));
-      } else if (arg == "--strategies") {
+      } else if (cli.is("--strategies")) {
         config.strategies.clear();
-        for (const std::string& s : split(value(), ','))
+        for (const std::string& s : split(cli.value(), ','))
           config.strategies.push_back(sched::strategy_from_name(s));
       } else {
-        usage(argv[0]);
+        cli.fail();
       }
     }
   } catch (const std::exception& e) {
     std::cerr << "bad arguments: " << e.what() << "\n";
-    usage(argv[0]);
+    cli.fail();
   }
 
   const SocGenerator generator(seed);

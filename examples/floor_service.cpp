@@ -6,32 +6,67 @@
 ///   floor_service [--workers N] [--jobs M] [--seed S]
 ///                 [--scenario-mix scan:4,bist:2,hier:1,maint:1]
 ///                 [--strategy single|per_core|greedy|phased|exact|branch_bound]
-///                 [--patterns-per-ff K] [--summary]
+///                 [--patterns-per-ff K] [--queue-capacity Q] [--cache C]
+///                 [--stream] [--summary]
 ///
 /// --workers 0 (the default) uses one worker per hardware thread.
 /// --strategy forces one scheduling strategy onto every job (the factory
-/// otherwise mixes them). --summary additionally prints the deterministic
+/// otherwise mixes them). --stream drives the live FloorSession API
+/// instead of the batch adapter: jobs are submitted while the workers run
+/// (throttled by --queue-capacity) and results are printed as they
+/// complete, in arrival order. --cache sets the per-worker program-cache
+/// capacity (0 disables). --summary additionally prints the deterministic
 /// aggregate summary — the text that is guaranteed byte-identical for any
-/// worker count at a fixed seed.
+/// worker count, batch or streaming, cache on or off, at a fixed seed.
 
 #include <cstdint>
-#include <cstdlib>
 #include <iostream>
 #include <optional>
 #include <string>
 
 #include "floor/job_factory.hpp"
+#include "floor/session.hpp"
 #include "floor/test_floor.hpp"
+#include "util/cli.hpp"
 
 namespace {
 
-[[noreturn]] void usage(const char* argv0) {
-  std::cerr << "usage: " << argv0
-            << " [--workers N] [--jobs M] [--seed S]"
-               " [--scenario-mix scan:4,bist:2,hier:1,maint:1]"
-               " [--strategy single|per_core|greedy|phased|exact|branch_bound]"
-               " [--patterns-per-ff K] [--summary]\n";
-  std::exit(2);
+constexpr const char* kOptionsHelp =
+    "[--workers N] [--jobs M] [--seed S]"
+    " [--scenario-mix scan:4,bist:2,hier:1,maint:1]"
+    " [--strategy single|per_core|greedy|phased|exact|branch_bound]"
+    " [--patterns-per-ff K] [--queue-capacity Q] [--cache C]"
+    " [--stream] [--summary]";
+
+/// Streaming mode: submit jobs one by one into the live session (the
+/// bounded queue throttles the producer) and print each result as the
+/// slot-ordered delivery hands it out.
+casbus::floor::FloorReport run_streaming(
+    casbus::floor::FloorConfig config,
+    const std::vector<casbus::floor::JobSpec>& specs) {
+  using namespace casbus::floor;
+  const auto print_result = [](const JobResult& r) {
+    std::cout << "  job " << r.id << " [" << scenario_name(r.scenario)
+              << "] "
+              << (!r.error.empty() ? "ERROR" : (r.pass ? "pass" : "FAIL"))
+              << (r.cache_hit ? " (cached)" : "") << "\n";
+  };
+
+  FloorSession session(config);
+  std::size_t printed = 0;
+  for (const JobSpec& spec : specs) {
+    const bool accepted = session.submit(spec);
+    CASBUS_ASSERT(accepted, "session closed while submitting");
+    for (const JobResult& r : session.poll_results()) {
+      print_result(r);
+      ++printed;
+    }
+  }
+  FloorReport report = session.drain();
+  for (std::size_t i = printed; i < report.results.size(); ++i)
+    print_result(report.results[i]);
+  std::cout << "\n";
+  return report;
 }
 
 }  // namespace
@@ -39,35 +74,38 @@ namespace {
 int main(int argc, char** argv) {
   using namespace casbus::floor;
 
-  std::size_t workers = 0;
   std::size_t jobs = 12;
   std::uint64_t seed = 1;
   std::size_t patterns_per_ff = 1;
+  FloorConfig config;
   ScenarioMix mix;
   std::optional<casbus::sched::Strategy> strategy;
+  bool stream = false;
   bool summary = false;
 
+  casbus::cli::FlagParser cli(argc, argv, kOptionsHelp);
   try {
-    for (int i = 1; i < argc; ++i) {
-      const std::string arg = argv[i];
-      const auto value = [&]() -> std::string {
-        if (i + 1 >= argc) usage(argv[0]);
-        return argv[++i];
-      };
-      if (arg == "--workers") workers = std::stoul(value());
-      else if (arg == "--jobs") jobs = std::stoul(value());
-      else if (arg == "--seed") seed = std::stoull(value());
-      else if (arg == "--scenario-mix") mix = parse_scenario_mix(value());
-      else if (arg == "--strategy")
-        strategy = casbus::sched::strategy_from_name(value());
-      else if (arg == "--patterns-per-ff")
-        patterns_per_ff = std::stoul(value());
-      else if (arg == "--summary") summary = true;
-      else usage(argv[0]);
+    while (cli.next()) {
+      if (cli.is("--workers")) config.workers = std::stoul(cli.value());
+      else if (cli.is("--jobs")) jobs = std::stoul(cli.value());
+      else if (cli.is("--seed")) seed = std::stoull(cli.value());
+      else if (cli.is("--scenario-mix"))
+        mix = parse_scenario_mix(cli.value());
+      else if (cli.is("--strategy"))
+        strategy = casbus::sched::strategy_from_name(cli.value());
+      else if (cli.is("--patterns-per-ff"))
+        patterns_per_ff = std::stoul(cli.value());
+      else if (cli.is("--queue-capacity"))
+        config.queue_capacity = std::stoul(cli.value());
+      else if (cli.is("--cache"))
+        config.cache_capacity = std::stoul(cli.value());
+      else if (cli.is("--stream")) stream = cli.boolean();
+      else if (cli.is("--summary")) summary = cli.boolean();
+      else cli.fail();
     }
   } catch (const std::exception& e) {
     std::cerr << "bad arguments: " << e.what() << "\n";
-    usage(argv[0]);
+    cli.fail();
   }
 
   const JobFactory factory(seed, mix);
@@ -77,11 +115,17 @@ int main(int argc, char** argv) {
     if (strategy) spec.strategy = *strategy;
   }
 
-  const TestFloor floor(FloorConfig{workers});
-  std::cout << "test floor: " << jobs << " jobs, " << floor.workers()
-            << " worker(s), seed " << seed << "\n\n";
+  std::cout << "test floor: " << jobs << " jobs, "
+            << effective_workers(config.workers)
+            << " worker(s), seed " << seed
+            << (stream ? ", streaming" : ", batch");
+  if (config.queue_capacity)
+    std::cout << ", queue capacity " << config.queue_capacity;
+  std::cout << "\n\n";
 
-  const FloorReport report = floor.run(specs);
+  const FloorReport report = stream
+                                 ? run_streaming(config, specs)
+                                 : TestFloor(config).run(specs);
   report.print(std::cout);
   if (summary) {
     std::cout << "\ndeterministic summary (worker-count invariant):\n"

@@ -1,18 +1,41 @@
 #include "floor/job.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <memory>
 #include <string>
 
+#include "floor/program_cache.hpp"
 #include "sched/time_model.hpp"
 #include "soc/schedule_runner.hpp"
 #include "soc/soc.hpp"
 #include "soc/tester.hpp"
 #include "soc/traffic.hpp"
 #include "tpg/patterns.hpp"
+#include "util/hash.hpp"
 #include "util/rng.hpp"
 
 namespace casbus::floor {
 namespace {
+
+/// Charges wall time to the pipeline stages: each finish(stage) call
+/// attributes the time since the previous boundary to that stage.
+class StageTimer {
+ public:
+  explicit StageTimer(JobResult& result)
+      : result_(result), last_(std::chrono::steady_clock::now()) {}
+
+  void finish(Stage stage) {
+    const auto now = std::chrono::steady_clock::now();
+    result_.stage_seconds[static_cast<std::size_t>(stage)] +=
+        std::chrono::duration<double>(now - last_).count();
+    last_ = now;
+  }
+
+ private:
+  JobResult& result_;
+  std::chrono::steady_clock::time_point last_;
+};
 
 /// Synthetic-core spec sized for floor jobs: big enough that execution is
 /// dominated by simulation (not queue traffic), small enough that one job
@@ -29,9 +52,13 @@ tpg::SyntheticCoreSpec job_core_spec(Rng& rng, std::size_t chains) {
 }
 
 /// Scheduled scenarios (ScanOnly / BistJoin): synthesize the SoC, compile
-/// via the analytic scheduler, execute cycle-accurately.
+/// via the analytic scheduler — or pull the compiled program straight from
+/// the worker's cache — then execute cycle-accurately.
 void run_scheduled(const JobSpec& spec, bool with_engines, Rng& rng,
-                   JobResult& result) {
+                   ProgramCache* cache, JobResult& result) {
+  StageTimer timer(result);
+
+  // ---- Stage: Build -------------------------------------------------------
   soc::SocBuilder builder(spec.bus_width);
   const std::size_t total = std::max<std::size_t>(2, spec.cores);
   std::size_t scan_cores = total;
@@ -62,26 +89,60 @@ void run_scheduled(const JobSpec& spec, bool with_engines, Rng& rng,
                           job_core_spec(rng, 1 + rng.below(max_chains)));
 
   auto soc = builder.build();
-  const soc::CompiledProgram program = soc::compile_program(
-      *soc, spec.strategy, spec.patterns_per_ff, rng.next());
+  timer.finish(Stage::Build);
+
+  // The pattern seed is drawn whether or not the cache hits, so cached and
+  // cold runs consume the job RNG identically — a precondition of the
+  // cache-on == cache-off determinism guarantee.
+  const std::uint64_t pattern_seed = rng.next();
+
+  // ---- Stages: Schedule + Compile (the program-cache window) --------------
+  std::shared_ptr<const soc::CompiledProgram> program =
+      cache ? cache->find_program(spec) : nullptr;
+  if (program) {
+    result.cache_hit = true;
+    // The cache verified recipe equality, and equal recipes reproduce the
+    // pattern seed — so a served program is exactly the cold compile.
+    CASBUS_ASSERT(program->pattern_seed == pattern_seed,
+                  "ProgramCache served a mismatched program");
+  } else {
+    auto fresh = std::make_shared<soc::CompiledProgram>();
+    fresh->specs = soc::specs_of(*soc, spec.patterns_per_ff);
+    fresh->schedule = sched::schedule_with(
+        fresh->specs, soc->bus().width(), spec.strategy);
+    timer.finish(Stage::Schedule);
+    fresh->pattern_seed = pattern_seed;
+    if (cache) cache->put_program(spec, fresh);
+    program = std::move(fresh);
+    timer.finish(Stage::Compile);
+  }
+
+  // ---- Stage: Simulate ----------------------------------------------------
   soc::SocTester tester(*soc);
   const soc::ScheduleRunReport report =
-      soc::run_program(*soc, tester, program);
+      soc::run_program(*soc, tester, *program);
+  timer.finish(Stage::Simulate);
 
+  // ---- Stage: Verdict -----------------------------------------------------
   result.cores = soc->core_count();
   result.sessions = report.sessions;
-  result.patterns = program.total_patterns();
+  result.patterns = program->total_patterns();
   result.predicted_cycles = report.predicted_cycles;
   result.measured_cycles = report.measured_cycles;
   result.sim_cycles = tester.cycles();
   result.pass = report.all_pass;
+  timer.finish(Stage::Verdict);
 }
 
 /// Hierarchical scenario (paper Fig. 2d): children tested through a parent
 /// CAS tunnel, concurrently with a top-level scan core. The analytic
 /// scheduler cannot express hierarchy, so the session is assembled by hand
-/// and predicted directly with the time model.
+/// (charged to the Compile stage) and predicted directly with the time
+/// model.
 void run_hierarchical(const JobSpec& spec, Rng& rng, JobResult& result) {
+  StageTimer timer(result);
+
+  // ---- Stage: Build -------------------------------------------------------
   const std::size_t children = 2 + rng.below(2);  // 2..3
   // Top core rides 2 wires, each child needs its own tunnel wire.
   const unsigned width =
@@ -97,7 +158,9 @@ void run_hierarchical(const JobSpec& spec, Rng& rng, JobResult& result) {
                                 std::move(child_specs));
   auto soc = builder.build();
   soc::SocTester tester(*soc);
+  timer.finish(Stage::Build);
 
+  // ---- Stage: Compile (hand-assembled session) ----------------------------
   const std::size_t patterns = 6 + rng.below(7);  // 6..12, same per target
   soc::ScanSession session;
   std::vector<unsigned> tunnel;
@@ -125,8 +188,13 @@ void run_hierarchical(const JobSpec& spec, Rng& rng, JobResult& result) {
         soc::CoreRef{1, j}, {tunnel[j]},
         tpg::PatternSet::random(child.spec.n_flipflops, patterns, rng)});
   }
+  timer.finish(Stage::Compile);
 
+  // ---- Stage: Simulate ----------------------------------------------------
   const soc::ScanSessionResult r = tester.run_scan_session(session);
+  timer.finish(Stage::Simulate);
+
+  // ---- Stage: Verdict -----------------------------------------------------
   result.cores = 1 + children;  // leaves under test
   result.sessions = 1;
   result.patterns = patterns * (1 + children);
@@ -134,13 +202,18 @@ void run_hierarchical(const JobSpec& spec, Rng& rng, JobResult& result) {
   result.measured_cycles = r.test_cycles;
   result.sim_cycles = tester.cycles();
   result.pass = r.all_pass();
+  timer.finish(Stage::Verdict);
 }
 
 /// Maintenance scenario (paper §4): MARCH-test an embedded memory over the
 /// bus while live functional traffic keeps hammering a second memory, and
 /// scan-test a logic core in the same window. Passing requires the MBIST
-/// verdict, clean scan responses, and zero traffic read-back errors.
+/// verdict, clean scan responses, and zero traffic read-back errors. The
+/// interleaved mission/test windows are all charged to Simulate.
 void run_maintenance(const JobSpec& spec, Rng& rng, JobResult& result) {
+  StageTimer timer(result);
+
+  // ---- Stage: Build -------------------------------------------------------
   soc::SocBuilder builder(spec.bus_width);
   builder.add_memory_core("ram", 16 + 16 * rng.below(2), 8);
   builder.add_memory_core("buf", 16, 8);
@@ -152,11 +225,9 @@ void run_maintenance(const JobSpec& spec, Rng& rng, JobResult& result) {
   soc::MemoryTraffic traffic(*soc, 1, rng.next());
   soc::SocTester tester(*soc);
   soc::MemoryCore& ram = soc->cores()[0].as_memory();
+  timer.finish(Stage::Build);
 
-  traffic.set_enabled(true);
-  tester.step(64 + rng.below(65));  // mission mode before the window
-
-  // Scan the logic core while traffic keeps flowing through "buf".
+  // ---- Stage: Compile (scan session assembly) -----------------------------
   const tpg::SyntheticCore& logic = soc->cores()[2].as_scan().synth();
   const std::size_t patterns = 4 + rng.below(5);  // 4..8
   soc::ScanSession session;
@@ -166,13 +237,22 @@ void run_maintenance(const JobSpec& spec, Rng& rng, JobResult& result) {
   session.targets.push_back(soc::ScanTarget{
       soc::CoreRef{2, std::nullopt}, wires,
       tpg::PatternSet::random(logic.spec.n_flipflops, patterns, rng)});
+  timer.finish(Stage::Compile);
+
+  // ---- Stage: Simulate ----------------------------------------------------
+  traffic.set_enabled(true);
+  tester.step(64 + rng.below(65));  // mission mode before the window
+
+  // Scan the logic core while traffic keeps flowing through "buf".
   const soc::ScanSessionResult scan = tester.run_scan_session(session);
 
   // Maintenance window proper: MBIST over the top bus wire.
   const soc::BistRunResult mbist =
       tester.run_bist(0, spec.bus_width - 1, ram.mbist_cycles());
   tester.step(32);  // back to mission mode
+  timer.finish(Stage::Simulate);
 
+  // ---- Stage: Verdict -----------------------------------------------------
   result.cores = soc->core_count();
   result.sessions = 2;
   result.patterns = patterns;
@@ -181,6 +261,7 @@ void run_maintenance(const JobSpec& spec, Rng& rng, JobResult& result) {
   result.sim_cycles = tester.cycles();
   result.pass = scan.all_pass() && mbist.pass &&
                 traffic.mismatches() == 0 && traffic.reads_checked() > 0;
+  timer.finish(Stage::Verdict);
 }
 
 }  // namespace
@@ -204,7 +285,46 @@ ScenarioKind scenario_from_name(std::string_view name) {
   return ScenarioKind::ScanOnly;  // unreachable
 }
 
-JobResult run_job(const JobSpec& spec) noexcept {
+const char* stage_name(Stage stage) noexcept {
+  switch (stage) {
+    case Stage::Build: return "build";
+    case Stage::Schedule: return "schedule";
+    case Stage::Compile: return "compile";
+    case Stage::Simulate: return "simulate";
+    case Stage::Verdict: return "verdict";
+  }
+  return "unknown";
+}
+
+std::uint64_t JobSpec::cache_key() const noexcept {
+  return StableHash{}
+      .mix(static_cast<std::uint64_t>(scenario))
+      .mix(seed)
+      .mix(static_cast<std::uint64_t>(strategy))
+      .mix(static_cast<std::uint64_t>(cores))
+      .mix(static_cast<std::uint64_t>(bus_width))
+      .mix(static_cast<std::uint64_t>(patterns_per_ff))
+      .value();
+}
+
+bool JobSpec::same_recipe(const JobSpec& other) const noexcept {
+  return scenario == other.scenario && seed == other.seed &&
+         strategy == other.strategy && cores == other.cores &&
+         bus_width == other.bus_width &&
+         patterns_per_ff == other.patterns_per_ff;
+}
+
+JobResult run_job(const JobSpec& spec, ProgramCache* cache) noexcept {
+  // Verdict tier: a recipe this worker already ran cleanly skips the
+  // whole pipeline — run_job is pure, so the qualified result *is* what a
+  // re-run would compute (only id and timing are job-specific).
+  if (cache) {
+    if (std::optional<JobResult> memo = cache->reuse(spec)) {
+      memo->id = spec.id;
+      return *memo;
+    }
+  }
+
   JobResult result;
   result.id = spec.id;
   result.scenario = spec.scenario;
@@ -214,10 +334,10 @@ JobResult run_job(const JobSpec& spec) noexcept {
     Rng rng(spec.seed);
     switch (spec.scenario) {
       case ScenarioKind::ScanOnly:
-        run_scheduled(spec, /*with_engines=*/false, rng, result);
+        run_scheduled(spec, /*with_engines=*/false, rng, cache, result);
         break;
       case ScenarioKind::BistJoin:
-        run_scheduled(spec, /*with_engines=*/true, rng, result);
+        run_scheduled(spec, /*with_engines=*/true, rng, cache, result);
         break;
       case ScenarioKind::Hierarchical:
         run_hierarchical(spec, rng, result);
@@ -226,6 +346,9 @@ JobResult run_job(const JobSpec& spec) noexcept {
         run_maintenance(spec, rng, result);
         break;
     }
+    // Clean runs qualify the recipe for verdict reuse; errors never do
+    // (an error may be environmental, not a function of the spec).
+    if (cache && result.error.empty()) cache->qualify(spec, result);
   } catch (const std::exception& e) {
     result.pass = false;
     result.error = e.what();
@@ -234,6 +357,10 @@ JobResult run_job(const JobSpec& spec) noexcept {
     result.error = "unknown error";
   }
   return result;
+}
+
+JobResult run_job(const JobSpec& spec) noexcept {
+  return run_job(spec, nullptr);
 }
 
 }  // namespace casbus::floor

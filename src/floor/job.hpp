@@ -1,7 +1,9 @@
 /// \file job.hpp
 /// One unit of test-floor work: a self-contained recipe for synthesizing an
 /// SoC, compiling its test program, and running it through a private
-/// cycle-accurate tester.
+/// cycle-accurate tester — executed as an explicit staged pipeline
+/// (Build -> Schedule -> Compile -> Simulate -> Verdict) with per-stage
+/// accounting.
 ///
 /// ## Determinism & thread-safety contract
 /// A job is *pure*: run_job() constructs every object it touches (Soc,
@@ -11,10 +13,14 @@
 /// them or what runs concurrently. All of a job's randomness flows from its
 /// private seed — the floor derives it as Rng::derive_stream(floor_seed,
 /// job id) (see util/rng.hpp), which is what makes a whole floor run's
-/// aggregates byte-identical for 1 and N workers.
+/// aggregates byte-identical for 1 and N workers. An optional per-worker
+/// ProgramCache may serve the Schedule+Compile stages for repeated specs;
+/// because compilation is itself pure, a cache hit reproduces the cold
+/// path's program bit-for-bit and the contract is unchanged.
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <string_view>
@@ -41,6 +47,25 @@ inline constexpr std::size_t kScenarioCount = 4;
 /// Inverse of scenario_name(); throws PreconditionError on unknown names.
 [[nodiscard]] ScenarioKind scenario_from_name(std::string_view name);
 
+/// The named stages of the run_job pipeline, in execution order. Every job
+/// flows Build -> (Schedule -> Compile, skipped on a program-cache hit) ->
+/// Simulate -> Verdict; scenarios the analytic scheduler cannot express
+/// (Hierarchical/Maintenance) charge their hand-assembled session setup to
+/// Compile and leave Schedule at zero.
+enum class Stage {
+  Build,     ///< synthesize the SoC (cores, wrappers, CAS-BUS)
+  Schedule,  ///< analytic scheduling (sched::schedule_with)
+  Compile,   ///< bundle the executable program / assemble sessions
+  Simulate,  ///< cycle-accurate execution through the tester
+  Verdict,   ///< harvest pass/fail and cycle accounting
+};
+
+inline constexpr std::size_t kStageCount = 5;
+
+/// Stable short name ("build", "schedule", "compile", "simulate",
+/// "verdict") — the report/bench vocabulary for stage breakdowns.
+[[nodiscard]] const char* stage_name(Stage stage) noexcept;
+
 /// Everything a worker needs to run one job. Plain value object; copying
 /// it into a queue is the only hand-off between producer and workers.
 struct JobSpec {
@@ -51,6 +76,19 @@ struct JobSpec {
   std::size_t cores = 3;          ///< top-level core count (clamped >= 2)
   unsigned bus_width = 4;         ///< CAS-BUS wires (must be >= 2)
   std::size_t patterns_per_ff = 1;///< scan-pattern budget scale
+
+  /// Canonical signature of every field that determines the job's SoC,
+  /// schedule, and compiled program — everything except id (two jobs that
+  /// differ only in id are reruns of the same recipe). Stable across
+  /// platforms and runs (util/hash.hpp). Equal keys mean byte-identical
+  /// deterministic results, which is what makes the per-worker program
+  /// caches and the JobQueue's affinity sharding sound.
+  [[nodiscard]] std::uint64_t cache_key() const noexcept;
+
+  /// True when \p other is the same recipe: every field except id equal.
+  /// The cache compares recipes on every key match, so a hash collision
+  /// degrades to a miss instead of serving the wrong program.
+  [[nodiscard]] bool same_recipe(const JobSpec& other) const noexcept;
 };
 
 /// Outcome of one job. Every field except wall_seconds is a deterministic
@@ -68,6 +106,14 @@ struct JobResult {
   std::uint64_t measured_cycles = 0;   ///< simulator cycles for the same span
   std::uint64_t sim_cycles = 0;   ///< total tester cycles, incl. config
   double wall_seconds = 0.0;      ///< NOT deterministic; excluded from digests
+  /// Per-stage wall time, indexed by Stage. NOT deterministic (timing),
+  /// excluded from digests like wall_seconds.
+  std::array<double, kStageCount> stage_seconds{};
+  /// True when the Schedule+Compile stages were skipped because the
+  /// executing worker's program cache already held this spec's compiled
+  /// program. NOT deterministic (depends on job interleaving and worker
+  /// count), excluded from digests.
+  bool cache_hit = false;
 
   /// |measured − predicted| / predicted (0 when nothing was predicted).
   [[nodiscard]] double deviation() const {
@@ -80,9 +126,27 @@ struct JobResult {
   }
 };
 
-/// Executes \p spec end to end (synthesize SoC -> compile program -> run
-/// through a private SocTester) and reports. Never throws: scenario
-/// failures and precondition violations come back as JobResult::error.
+class ProgramCache;
+
+/// Executes \p spec end to end through the staged pipeline (Build ->
+/// Schedule -> Compile -> Simulate -> Verdict) and reports, with per-stage
+/// wall time in JobResult::stage_seconds. Never throws: scenario failures
+/// and precondition violations come back as JobResult::error.
+///
+/// When \p cache is non-null, repeated recipes are served from it at two
+/// tiers (see program_cache.hpp): the Schedule+Compile stages of scheduled
+/// scenarios reuse the cached CompiledProgram, and — when the cache has
+/// verdict reuse enabled — a recipe that already ran cleanly skips the
+/// whole pipeline and returns its qualified result re-stamped with this
+/// job's id. Neither tier can change any deterministic result field,
+/// because run_job is pure: a cached program/verdict is byte-identical to
+/// what a cold run would recompute, so cache-on and cache-off runs produce
+/// equal deterministic_summary() text. The cache must be private to the
+/// calling thread (the floor gives each worker its own).
+[[nodiscard]] JobResult run_job(const JobSpec& spec,
+                                ProgramCache* cache) noexcept;
+
+/// Cache-less convenience overload.
 [[nodiscard]] JobResult run_job(const JobSpec& spec) noexcept;
 
 }  // namespace casbus::floor

@@ -1,11 +1,34 @@
 /// \file job_queue.hpp
-/// The test floor's work queue: a minimal multi-producer / multi-consumer
-/// FIFO of JobSpecs with close semantics.
+/// The test floor's work queue: a multi-producer / multi-consumer queue of
+/// JobSpecs with close semantics, bounded-capacity backpressure, and
+/// per-worker steal-ready deques.
+///
+/// ## Structure
+/// Jobs land in one of `shards` deques, picked by the job's cache-key
+/// affinity (JobSpec::cache_key() % shards). Worker w pops the front of
+/// shard w first — so repeated specs keep hitting the same worker's
+/// program cache — and steals from the back of the fullest other shard
+/// when its own is empty, so a long-tailed mix (one shard stuck behind a
+/// 10x hierarchical/maintenance job) never idles the rest of the pool.
+/// Each pushed job is still delivered to exactly one popper, tagged with
+/// its global arrival slot (0-based push order), which is what lets
+/// workers deposit results in input order regardless of steal order.
+///
+/// ## Backpressure
+/// A capacity bound (0 = unbounded) limits jobs *waiting* in the queue:
+/// push() blocks the producer while the queue is full, try_push() returns
+/// false instead. This is the streaming floor's flow control — a producer
+/// submitting faster than the workers simulate is throttled at the bound
+/// instead of growing the queue without limit.
+///
+/// ## Close semantics
+/// close() declares the end of input. Blocked and future pop() calls
+/// return std::nullopt once the remaining jobs are drained; blocked and
+/// future push()/try_push() calls return false — a graceful rejection, not
+/// a crash, because a streaming session may race producers against
+/// close(). Idempotent.
 ///
 /// Concurrency contract: every member is safe to call from any thread.
-/// pop() blocks until a job is available or the queue is closed and
-/// drained, in which case it returns std::nullopt — the worker shutdown
-/// signal. Each pushed job is delivered to exactly one popper.
 
 #pragma once
 
@@ -13,6 +36,7 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <vector>
 
 #include "floor/job.hpp"
 #include "util/error.hpp"
@@ -29,42 +53,78 @@ struct SlottedJob {
 
 class JobQueue {
  public:
-  /// Enqueues one job, assigning it the next arrival slot. Must not be
-  /// called after close().
-  void push(JobSpec job) {
+  /// \p shards is the number of per-worker deques (clamped >= 1; pass the
+  /// worker-pool size). \p capacity bounds the jobs waiting in the queue
+  /// across all shards; 0 means unbounded.
+  explicit JobQueue(std::size_t shards = 1, std::size_t capacity = 0)
+      : shards_(shards == 0 ? 1 : shards),
+        capacity_(capacity),
+        queues_(shards_) {}
+
+  /// Enqueues one job, assigning it the next arrival slot; blocks while
+  /// the queue is at capacity. Returns false (dropping the job) when the
+  /// queue is or becomes closed — never throws, so racing producers
+  /// against close() is safe.
+  [[nodiscard]] bool push(JobSpec job) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      space_cv_.wait(lock, [this] { return closed_ || has_space(); });
+      if (closed_) return false;
+      enqueue(std::move(job));
+    }
+    jobs_cv_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push: false when the queue is closed or at capacity.
+  [[nodiscard]] bool try_push(JobSpec job) {
     {
       const std::lock_guard<std::mutex> lock(mu_);
-      CASBUS_REQUIRE(!closed_, "JobQueue: push after close");
-      jobs_.push_back(SlottedJob{next_slot_++, std::move(job)});
+      if (closed_ || !has_space()) return false;
+      enqueue(std::move(job));
     }
-    cv_.notify_one();
+    jobs_cv_.notify_one();
+    return true;
   }
 
   /// Declares the end of input: blocked and future pop() calls return
-  /// std::nullopt once the remaining jobs are drained. Idempotent.
+  /// std::nullopt once the remaining jobs are drained, blocked and future
+  /// pushes return false. Idempotent.
   void close() {
     {
       const std::lock_guard<std::mutex> lock(mu_);
       closed_ = true;
     }
-    cv_.notify_all();
+    jobs_cv_.notify_all();
+    space_cv_.notify_all();
   }
 
-  /// Takes the oldest job, blocking while the queue is open but empty.
-  /// Returns std::nullopt when the queue is closed and fully drained.
-  [[nodiscard]] std::optional<SlottedJob> pop() {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] { return closed_ || !jobs_.empty(); });
-    if (jobs_.empty()) return std::nullopt;
-    SlottedJob job = std::move(jobs_.front());
-    jobs_.pop_front();
+  /// Takes the next job for \p worker — its own shard's front, else a
+  /// steal from the back of the fullest other shard — blocking while the
+  /// queue is open but empty. Returns std::nullopt when the queue is
+  /// closed and fully drained.
+  [[nodiscard]] std::optional<SlottedJob> pop(std::size_t worker = 0) {
+    SlottedJob job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      jobs_cv_.wait(lock, [this] { return closed_ || size_ > 0; });
+      if (size_ == 0) return std::nullopt;
+      job = dequeue(worker % shards_);
+    }
+    space_cv_.notify_one();
     return job;
   }
 
   /// Jobs currently waiting (snapshot — racy by nature under concurrency).
   [[nodiscard]] std::size_t size() const {
     const std::lock_guard<std::mutex> lock(mu_);
-    return jobs_.size();
+    return size_;
+  }
+
+  /// Jobs accepted so far (== the next arrival slot).
+  [[nodiscard]] std::size_t pushed() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return next_slot_;
   }
 
   [[nodiscard]] bool closed() const {
@@ -72,10 +132,46 @@ class JobQueue {
     return closed_;
   }
 
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+
  private:
+  [[nodiscard]] bool has_space() const {
+    return capacity_ == 0 || size_ < capacity_;
+  }
+
+  void enqueue(JobSpec job) {  // caller holds mu_
+    const std::size_t shard =
+        static_cast<std::size_t>(job.cache_key() % shards_);
+    queues_[shard].push_back(SlottedJob{next_slot_++, std::move(job)});
+    ++size_;
+  }
+
+  SlottedJob dequeue(std::size_t home) {  // caller holds mu_; size_ > 0
+    --size_;
+    std::deque<SlottedJob>& own = queues_[home];
+    if (!own.empty()) {
+      SlottedJob job = std::move(own.front());
+      own.pop_front();
+      return job;
+    }
+    std::size_t victim = home;
+    for (std::size_t s = 0; s < shards_; ++s)
+      if (queues_[s].size() > queues_[victim].size()) victim = s;
+    CASBUS_ASSERT(!queues_[victim].empty(),
+                  "JobQueue: size_ > 0 but every shard is empty");
+    SlottedJob job = std::move(queues_[victim].back());
+    queues_[victim].pop_back();
+    return job;
+  }
+
   mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<SlottedJob> jobs_;
+  std::condition_variable jobs_cv_;   ///< wakes poppers
+  std::condition_variable space_cv_;  ///< wakes producers at the bound
+  std::size_t shards_;
+  std::size_t capacity_;
+  std::vector<std::deque<SlottedJob>> queues_;
+  std::size_t size_ = 0;
   std::size_t next_slot_ = 0;
   bool closed_ = false;
 };

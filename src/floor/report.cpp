@@ -50,6 +50,9 @@ FloorReport aggregate_results(std::vector<JobResult> results,
   for (const JobResult& r : report.results) {
     fold(report.scenario[static_cast<std::size_t>(r.scenario)], r);
     fold(report.total, r);
+    for (std::size_t s = 0; s < kStageCount; ++s)
+      report.stage_seconds[s] += r.stage_seconds[s];
+    if (r.cache_hit) ++report.cache_hits;
   }
   return report;
 }
@@ -83,6 +86,12 @@ void FloorReport::print(std::ostream& os) const {
      << "  throughput: " << fixed6(programs_per_sec())
      << " programs/sec, " << fixed6(sim_cycles_per_sec())
      << " sim-cycles/sec\n";
+  os << "  stages:";
+  for (std::size_t s = 0; s < kStageCount; ++s)
+    os << ' ' << stage_name(static_cast<Stage>(s)) << '='
+       << fixed6(stage_seconds[s]) << "s";
+  os << "\n  program cache: " << cache_hits << "/" << total.jobs
+     << " jobs served from cache\n";
   for (std::size_t k = 0; k < kScenarioCount; ++k) {
     if (scenario[k].jobs == 0) continue;
     os << "  ";

@@ -38,14 +38,22 @@ struct ScenarioStats {
   double worst_deviation = 0.0;  ///< max per-job |meas−pred|/pred
 };
 
-/// Outcome of one TestFloor::run(): per-job results (in job-slot order),
-/// scenario breakdowns, totals, and throughput.
+/// Outcome of one TestFloor::run() or FloorSession::drain(): per-job
+/// results (in job-slot order), scenario breakdowns, totals, per-stage
+/// accounting, and throughput.
 struct FloorReport {
   std::vector<JobResult> results;  ///< index == position in the job list
   std::array<ScenarioStats, kScenarioCount> scenario{};
   ScenarioStats total;
   std::size_t workers = 0;     ///< effective worker-thread count
   double wall_seconds = 0.0;   ///< whole-floor wall time
+  /// Summed per-stage wall time across all jobs, indexed by Stage. Like
+  /// wall_seconds this is timing, NOT deterministic, and excluded from
+  /// deterministic_summary().
+  std::array<double, kStageCount> stage_seconds{};
+  /// Jobs whose compiled program came from a worker's cache. NOT
+  /// deterministic (depends on interleaving); excluded from the summary.
+  std::size_t cache_hits = 0;
 
   [[nodiscard]] bool all_pass() const {
     return total.jobs == total.passed;

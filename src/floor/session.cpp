@@ -1,0 +1,93 @@
+#include "floor/session.hpp"
+
+#include <chrono>
+
+#include "floor/program_cache.hpp"
+
+namespace casbus::floor {
+
+FloorSession::FloorSession(FloorConfig config)
+    : config_(config),
+      workers_(effective_workers(config.workers)),
+      queue_(workers_, config.queue_capacity),
+      start_(std::chrono::steady_clock::now()) {
+  pool_.reserve(workers_);
+  for (std::size_t w = 0; w < workers_; ++w)
+    pool_.emplace_back([this, w] { worker_main(w); });
+}
+
+FloorSession::~FloorSession() {
+  queue_.close();
+  for (std::thread& t : pool_)
+    if (t.joinable()) t.join();
+}
+
+std::size_t FloorSession::submit_batch(const std::vector<JobSpec>& specs) {
+  std::size_t accepted = 0;
+  for (const JobSpec& spec : specs) {
+    if (!submit(spec)) break;
+    ++accepted;
+  }
+  return accepted;
+}
+
+std::size_t FloorSession::completed() const {
+  const std::lock_guard<std::mutex> lock(results_mu_);
+  return completed_;
+}
+
+std::vector<JobResult> FloorSession::poll_results() {
+  const std::lock_guard<std::mutex> lock(results_mu_);
+  std::vector<JobResult> out;
+  if (harvested_) return out;  // drain() owns the results now
+  while (next_poll_ < done_.size() && done_[next_poll_])
+    out.push_back(results_[next_poll_++]);
+  return out;
+}
+
+FloorReport FloorSession::drain() {
+  CASBUS_REQUIRE(!drained_, "FloorSession: drain() may be called once");
+  drained_ = true;
+  queue_.close();
+  for (std::thread& t : pool_)
+    if (t.joinable()) t.join();
+
+  const double wall = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - start_)
+                          .count();
+  const std::lock_guard<std::mutex> lock(results_mu_);
+  // Every accepted slot has been executed (the queue delivers all jobs
+  // before signalling shutdown), so the results vector is dense.
+  CASBUS_ASSERT(completed_ == queue_.pushed(),
+                "FloorSession: joined with unexecuted jobs");
+  harvested_ = true;
+  return aggregate_results(std::move(results_), workers_, wall);
+}
+
+void FloorSession::worker_main(std::size_t worker) {
+  // The worker's private program cache: equal-keyed jobs are routed here
+  // by the queue's affinity sharding, so repeated specs skip the
+  // Schedule+Compile stages without any cross-thread sharing.
+  ProgramCache cache(config_.cache_capacity, config_.reuse_verdicts);
+  ProgramCache* cache_ptr = config_.cache_capacity ? &cache : nullptr;
+
+  while (std::optional<SlottedJob> job = queue_.pop(worker)) {
+    const auto start = std::chrono::steady_clock::now();
+    JobResult result = run_job(job->spec, cache_ptr);
+    result.wall_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+
+    const std::lock_guard<std::mutex> lock(results_mu_);
+    if (job->slot >= results_.size()) {
+      results_.resize(job->slot + 1);
+      done_.resize(job->slot + 1, 0);
+    }
+    results_[job->slot] = std::move(result);
+    done_[job->slot] = 1;
+    ++completed_;
+  }
+}
+
+}  // namespace casbus::floor

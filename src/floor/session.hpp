@@ -1,0 +1,137 @@
+/// \file session.hpp
+/// The streaming test-floor service: a long-running worker pool that
+/// accepts jobs *while it runs*, with bounded backpressure, per-worker
+/// program caches, and work stealing.
+///
+/// Architecture (one FloorSession):
+///
+///     submit()/submit_batch() ──▶ JobQueue ──▶ worker 0 (+cache) ─┐
+///        (blocks at capacity)   (affinity ├──▶ worker 1 (+cache) ─┼─▶
+///                                 shards,  └──▶ worker N (+cache) ─┘
+///                                 stealing)        results[slot]
+///                                                       │
+///     poll_results() ◀── slot-ordered delivery ◀────────┤
+///     drain()        ◀── close + join + aggregate ◀─────┘
+///
+/// Lifecycle: open (construction spawns the pool) -> submit / submit_batch
+/// / poll_results in any interleaving from any threads -> drain() (or
+/// close() + drain()) exactly once -> destruction. Jobs submitted after
+/// the workers have started are executed like any other; that is the
+/// point.
+///
+/// ## Determinism guarantee (unchanged from the batch floor)
+/// drain()'s FloorReport folds results in arrival-slot order after the
+/// pool has joined, so every deterministic aggregate — everything in
+/// deterministic_summary() — is a function of the submitted job list
+/// alone: byte-identical for 1 worker and N workers, with caches on or
+/// off, and to an equivalent batch TestFloor::run over the same list.
+/// Caches cannot break this because compilation is pure (see job.hpp);
+/// stealing cannot because results land by slot, never by completion.
+
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "floor/job.hpp"
+#include "floor/job_queue.hpp"
+#include "floor/report.hpp"
+
+namespace casbus::floor {
+
+/// Resolves a requested worker count: 0 means one per hardware thread
+/// (std::thread::hardware_concurrency, itself clamped to >= 1). The one
+/// place the 0-means-auto policy lives.
+[[nodiscard]] inline std::size_t effective_workers(
+    std::size_t requested) noexcept {
+  if (requested != 0) return requested;
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+struct FloorConfig {
+  /// Worker threads; 0 means one per hardware thread (effective_workers).
+  std::size_t workers = 0;
+  /// Jobs allowed to wait in the queue before submit() blocks (and
+  /// try_submit() refuses); 0 means unbounded — batch semantics.
+  std::size_t queue_capacity = 0;
+  /// Per-worker program-cache entries (LRU); 0 disables caching.
+  std::size_t cache_capacity = 16;
+  /// Gates the cache's verdict tier (full-result reuse of recipes that
+  /// already ran cleanly — see program_cache.hpp). The program tier
+  /// (Schedule+Compile skip) is controlled by cache_capacity alone.
+  bool reuse_verdicts = true;
+};
+
+/// A live streaming session. Not copyable or movable: workers hold `this`.
+class FloorSession {
+ public:
+  explicit FloorSession(FloorConfig config = {});
+
+  /// Closes and joins if the caller never called drain(); results are
+  /// discarded in that case.
+  ~FloorSession();
+
+  FloorSession(const FloorSession&) = delete;
+  FloorSession& operator=(const FloorSession&) = delete;
+
+  /// Worker threads serving this session.
+  [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
+
+  /// Submits one job, blocking while the queue is at capacity. Returns
+  /// false (job rejected) once the session is closed — graceful, so
+  /// producers may race close()/drain().
+  [[nodiscard]] bool submit(JobSpec spec) { return queue_.push(spec); }
+
+  /// Non-blocking submit: false when the session is closed or the queue
+  /// is at its capacity bound.
+  [[nodiscard]] bool try_submit(JobSpec spec) {
+    return queue_.try_push(spec);
+  }
+
+  /// Submits jobs in order (each a blocking submit); returns how many
+  /// were accepted — short only if the session was closed mid-batch.
+  std::size_t submit_batch(const std::vector<JobSpec>& specs);
+
+  /// Jobs accepted so far.
+  [[nodiscard]] std::size_t submitted() const { return queue_.pushed(); }
+
+  /// Jobs fully executed so far.
+  [[nodiscard]] std::size_t completed() const;
+
+  /// Returns finished results in arrival-slot order, each delivered
+  /// exactly once across all poll_results() calls; stops at the first
+  /// still-running slot. Non-blocking. Results handed out here are still
+  /// included in drain()'s aggregate report.
+  [[nodiscard]] std::vector<JobResult> poll_results();
+
+  /// Stops accepting input (submit/try_submit return false). Workers
+  /// finish the backlog. Idempotent; does not join.
+  void close() { queue_.close(); }
+
+  /// Closes, joins the pool, and returns the aggregate report over every
+  /// job the session accepted, in slot order. Call at most once.
+  [[nodiscard]] FloorReport drain();
+
+ private:
+  void worker_main(std::size_t worker);
+
+  FloorConfig config_;
+  std::size_t workers_;
+  JobQueue queue_;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::thread> pool_;
+  bool drained_ = false;
+
+  mutable std::mutex results_mu_;
+  std::vector<JobResult> results_;  ///< indexed by slot
+  std::vector<char> done_;          ///< parallel to results_
+  std::size_t completed_ = 0;
+  std::size_t next_poll_ = 0;  ///< first slot not yet handed to poll
+  bool harvested_ = false;     ///< drain() took the results vector
+};
+
+}  // namespace casbus::floor

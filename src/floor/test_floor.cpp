@@ -1,58 +1,24 @@
 #include "floor/test_floor.hpp"
 
 #include <algorithm>
-#include <chrono>
-#include <thread>
-
-#include "floor/job_queue.hpp"
 
 namespace casbus::floor {
-namespace {
-
-std::size_t effective_workers(std::size_t requested) {
-  if (requested != 0) return requested;
-  const unsigned hw = std::thread::hardware_concurrency();
-  return hw == 0 ? 1 : hw;
-}
-
-}  // namespace
 
 TestFloor::TestFloor(FloorConfig config)
-    : workers_(effective_workers(config.workers)) {}
+    : config_(config), workers_(effective_workers(config.workers)) {}
 
 FloorReport TestFloor::run(const std::vector<JobSpec>& jobs) const {
-  const auto t0 = std::chrono::steady_clock::now();
-  std::vector<JobResult> results(jobs.size());
-  if (!jobs.empty()) {
-    JobQueue queue;
-    for (const JobSpec& job : jobs) queue.push(job);
-    queue.close();
+  if (jobs.empty()) return aggregate_results({}, workers_, 0.0);
 
-    // Workers share the queue and disjoint slots of `results` — nothing
-    // else. run_job is noexcept, so a worker can only exit by draining.
-    const auto worker = [&queue, &results] {
-      while (std::optional<SlottedJob> job = queue.pop()) {
-        const auto start = std::chrono::steady_clock::now();
-        JobResult result = run_job(job->spec);
-        result.wall_seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                          start)
-                .count();
-        results[job->slot] = std::move(result);
-      }
-    };
-
-    const std::size_t pool_size = std::min(workers_, jobs.size());
-    std::vector<std::thread> pool;
-    pool.reserve(pool_size);
-    for (std::size_t w = 0; w < pool_size; ++w) pool.emplace_back(worker);
-    for (std::thread& t : pool) t.join();
-  }
-
-  const double wall =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
-  return aggregate_results(std::move(results), workers_, wall);
+  FloorConfig session_config = config_;
+  session_config.workers = std::min(workers_, jobs.size());
+  FloorSession session(session_config);
+  session.submit_batch(jobs);
+  FloorReport report = session.drain();
+  // The report advertises the configured pool size, not the job-count cap
+  // (matching the historical batch behavior).
+  report.workers = workers_;
+  return report;
 }
 
 }  // namespace casbus::floor

@@ -1,26 +1,21 @@
 /// \file test_floor.hpp
-/// The SoC test-floor service: a pool of worker threads streaming test
-/// programs through independent cycle-accurate testers.
+/// Batch front-end of the SoC test-floor service: run a closed job list
+/// through a worker pool and report.
 ///
-/// Architecture (one TestFloor::run):
-///
-///     JobSpecs ──▶ JobQueue ──▶ worker 0 ─┐
-///                         ├──▶ worker 1 ─┼──▶ results[slot] ──▶ aggregate
-///                         └──▶ worker N ─┘        (job-slot order)
-///
-/// Each worker owns everything it touches: it pops a JobSpec, synthesizes
-/// a private Soc + SocTester + Rng from the spec (run_job), and writes the
-/// JobResult into its pre-assigned slot of the results vector. Workers
-/// share only the queue (mutex-guarded) and disjoint result slots, so no
-/// simulation state ever crosses a thread boundary.
+/// Since the streaming refactor this is a thin adapter over FloorSession
+/// (src/floor/session.hpp): run() opens a session, submits the whole
+/// batch, and drains — one-shot callers keep the old API, and both paths
+/// share the queue, the staged run_job pipeline, the per-worker program
+/// caches, and the determinism rule.
 ///
 /// ## Determinism guarantee
 /// For a fixed job list (fixed floor seed), FloorReport's deterministic
 /// aggregates — everything in deterministic_summary() — are byte-identical
-/// for 1 worker and N workers: job randomness is keyed by
-/// Rng::derive_stream(seed, job id), results land in job-slot order, and
-/// aggregation folds that vector sequentially after the pool has joined.
-/// Only wall-clock throughput varies with the worker count.
+/// for 1 worker and N workers, and to a hand-driven FloorSession over the
+/// same list: job randomness is keyed by Rng::derive_stream(seed, job id),
+/// results land in job-slot order, and aggregation folds that vector
+/// sequentially after the pool has joined. Only wall-clock throughput
+/// varies with the worker count.
 
 #pragma once
 
@@ -29,17 +24,12 @@
 
 #include "floor/job.hpp"
 #include "floor/report.hpp"
+#include "floor/session.hpp"
 
 namespace casbus::floor {
 
-struct FloorConfig {
-  /// Worker threads; 0 means one per hardware thread
-  /// (std::thread::hardware_concurrency, itself clamped to >= 1).
-  std::size_t workers = 0;
-};
-
 /// Runs batches of jobs through a worker pool. A TestFloor object is cheap
-/// (configuration only); each run() builds and joins a fresh pool.
+/// (configuration only); each run() opens and drains a fresh FloorSession.
 class TestFloor {
  public:
   explicit TestFloor(FloorConfig config = {});
@@ -48,11 +38,13 @@ class TestFloor {
   [[nodiscard]] std::size_t workers() const noexcept { return workers_; }
 
   /// Executes every job and returns the aggregated report (results in
-  /// input order). Spawns min(workers(), jobs.size()) threads; an empty
-  /// job list returns an empty report without spawning any.
+  /// input order). The session pool is capped at min(workers(),
+  /// jobs.size()) threads; an empty job list returns an empty report
+  /// without spawning any.
   [[nodiscard]] FloorReport run(const std::vector<JobSpec>& jobs) const;
 
  private:
+  FloorConfig config_;
   std::size_t workers_;
 };
 

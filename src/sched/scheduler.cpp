@@ -58,6 +58,11 @@ Schedule SessionScheduler::schedule_with(Strategy s) const {
   return {};  // unreachable
 }
 
+Schedule schedule_with(const std::vector<CoreTestSpec>& cores,
+                       unsigned bus_width, Strategy s) {
+  return SessionScheduler(cores, bus_width).schedule_with(s);
+}
+
 SessionScheduler::SessionScheduler(std::vector<CoreTestSpec> cores,
                                    unsigned bus_width)
     : cores_(std::move(cores)), width_(bus_width) {

@@ -7,7 +7,7 @@
 
 namespace casbus::soc {
 
-std::vector<sched::CoreTestSpec> specs_of(Soc& soc,
+std::vector<sched::CoreTestSpec> specs_of(const Soc& soc,
                                           std::size_t patterns_per_ff) {
   std::vector<sched::CoreTestSpec> specs;
   for (std::size_t i = 0; i < soc.core_count(); ++i) {
@@ -147,15 +147,14 @@ ScheduleRunReport run_schedule(Soc& soc, SocTester& tester,
   return report;
 }
 
-CompiledProgram compile_program(Soc& soc, sched::Strategy strategy,
+CompiledProgram compile_program(const Soc& soc, sched::Strategy strategy,
                                 std::size_t patterns_per_ff,
                                 std::uint64_t pattern_seed) {
   CompiledProgram program;
   program.specs = specs_of(soc, patterns_per_ff);
   program.pattern_seed = pattern_seed;
-  const sched::SessionScheduler scheduler(program.specs,
-                                          soc.bus().width());
-  program.schedule = scheduler.schedule_with(strategy);
+  program.schedule =
+      sched::schedule_with(program.specs, soc.bus().width(), strategy);
   return program;
 }
 

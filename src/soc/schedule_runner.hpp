@@ -39,8 +39,10 @@ struct ScheduleRunReport {
 
 /// Derives the CoreTestSpec list of \p soc's top-level cores (chain
 /// lengths from the real netlists; \p patterns_per_ff scales pattern
-/// budgets: patterns = n_flipflops * patterns_per_ff, min 1).
-std::vector<sched::CoreTestSpec> specs_of(Soc& soc,
+/// budgets: patterns = n_flipflops * patterns_per_ff, min 1). Read-only on
+/// the SoC, so callers holding a const Soc (cache lookups, concurrent
+/// inspection) can derive specs without pretending to mutate it.
+std::vector<sched::CoreTestSpec> specs_of(const Soc& soc,
                                           std::size_t patterns_per_ff = 1);
 
 /// Executes \p schedule (produced by a SessionScheduler over specs_of the
@@ -73,10 +75,15 @@ struct CompiledProgram {
 };
 
 /// Compiles a complete program for \p soc: derives the core specs
-/// (specs_of), schedules them on the SoC's own bus width with \p strategy.
-/// Strategies other than sched::Strategy::Best always yield an executable
-/// (chip-synchronous) program; Best may not — run_program rejects those.
-CompiledProgram compile_program(Soc& soc, sched::Strategy strategy,
+/// (specs_of), schedules them on the SoC's own bus width with \p strategy
+/// (via the pure sched::schedule_with entry point, so equal inputs compile
+/// byte-identical programs — the property the floor's program caches rely
+/// on). Strategies other than sched::Strategy::Best always yield an
+/// executable (chip-synchronous) program; Best may not — run_program
+/// rejects those. Read-only on the SoC: compilation never touches
+/// simulation state, so one const Soc may serve compile_program while a
+/// cached program for the same geometry is being re-run elsewhere.
+CompiledProgram compile_program(const Soc& soc, sched::Strategy strategy,
                                 std::size_t patterns_per_ff = 1,
                                 std::uint64_t pattern_seed = 1);
 

@@ -80,6 +80,9 @@ class Soc {
  public:
   [[nodiscard]] sim::Simulation& simulation() noexcept { return sim_; }
   [[nodiscard]] tam::CasBusChain& bus() noexcept { return *bus_; }
+  [[nodiscard]] const tam::CasBusChain& bus() const noexcept {
+    return *bus_;
+  }
   [[nodiscard]] const p1500::WscWires& wsc() const noexcept { return wsc_; }
 
   /// Wrapper-serial-ring pins (independent wrapper configuration: the
@@ -89,6 +92,9 @@ class Soc {
   [[nodiscard]] sim::Wire& wso_pin() noexcept { return *wso_pin_; }
 
   [[nodiscard]] std::vector<CoreInstance>& cores() noexcept {
+    return cores_;
+  }
+  [[nodiscard]] const std::vector<CoreInstance>& cores() const noexcept {
     return cores_;
   }
   [[nodiscard]] std::size_t core_count() const noexcept {

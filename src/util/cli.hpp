@@ -1,0 +1,92 @@
+/// \file cli.hpp
+/// Minimal shared flag parsing for the example CLIs.
+///
+/// Every example used to hand-roll the same argv walk ("--flag value",
+/// index bookkeeping, usage-on-error); FlagParser is that walk extracted
+/// once. It understands both "--flag value" and "--flag=value", leaves
+/// typed conversion errors to the caller's existing catch-and-usage
+/// structure (std::stoul and friends throw std::exception), and owns the
+/// usage message so unknown flags and missing values exit consistently.
+///
+/// Usage:
+///   cli::FlagParser cli(argc, argv, "[--jobs M] [--seed S]");
+///   while (cli.next()) {
+///     if (cli.is("--jobs")) jobs = std::stoul(cli.value());
+///     else if (cli.is("--seed")) seed = std::stoull(cli.value());
+///     else cli.fail();          // unknown flag -> usage + exit(2)
+///   }
+
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <string_view>
+
+namespace casbus::cli {
+
+class FlagParser {
+ public:
+  /// \p options_help is the usage line's option summary (printed after the
+  /// program name by fail()).
+  FlagParser(int argc, char** argv, std::string options_help)
+      : argc_(argc), argv_(argv), help_(std::move(options_help)) {}
+
+  /// Advances to the next argument; false when argv is exhausted. The
+  /// current flag name (the part before '=' if present) is flag().
+  [[nodiscard]] bool next() {
+    if (i_ + 1 >= argc_) return false;
+    ++i_;
+    const std::string arg = argv_[i_];
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flag_ = arg.substr(0, eq);
+      inline_value_ = arg.substr(eq + 1);
+      has_inline_value_ = true;
+    } else {
+      flag_ = arg;
+      has_inline_value_ = false;
+    }
+    return true;
+  }
+
+  [[nodiscard]] const std::string& flag() const noexcept { return flag_; }
+  [[nodiscard]] bool is(std::string_view name) const noexcept {
+    return flag_ == name;
+  }
+
+  /// The current flag's value: the "=..." part when the flag was written
+  /// "--flag=value", otherwise the next argv token (consumed). A boolean
+  /// flag written with an unexpected "=value", or a trailing flag with no
+  /// token left, exits via fail().
+  [[nodiscard]] std::string value() {
+    if (has_inline_value_) return inline_value_;
+    if (i_ + 1 >= argc_) fail();
+    return argv_[++i_];
+  }
+
+  /// True for flags that take no value; exits via fail() if the user
+  /// passed one anyway ("--summary=x").
+  [[nodiscard]] bool boolean() {
+    if (has_inline_value_) fail();
+    return true;
+  }
+
+  /// Prints the usage line and exits 2 — the CLIs' uniform response to an
+  /// unknown flag, a missing value, or malformed input.
+  [[noreturn]] void fail() const {
+    std::cerr << "usage: " << argv_[0] << ' ' << help_ << '\n';
+    std::exit(2);
+  }
+
+ private:
+  int argc_;
+  char** argv_;
+  std::string help_;
+  int i_ = 0;
+  std::string flag_;
+  std::string inline_value_;
+  bool has_inline_value_ = false;
+};
+
+}  // namespace casbus::cli

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -22,13 +23,14 @@ namespace {
 // --- JobQueue ---------------------------------------------------------------
 
 TEST(JobQueue, FifoOrderAndCloseSemantics) {
-  JobQueue queue;
+  JobQueue queue;  // one shard: strict FIFO
   for (std::size_t i = 0; i < 4; ++i) {
     JobSpec spec;
     spec.id = 100 + i;
-    queue.push(spec);
+    EXPECT_TRUE(queue.push(spec));
   }
   EXPECT_EQ(queue.size(), 4u);
+  EXPECT_EQ(queue.pushed(), 4u);
   EXPECT_FALSE(queue.closed());
   queue.close();
   EXPECT_TRUE(queue.closed());
@@ -40,31 +42,139 @@ TEST(JobQueue, FifoOrderAndCloseSemantics) {
     EXPECT_EQ(job->spec.id, 100 + i);
   }
   EXPECT_FALSE(queue.pop().has_value());  // drained + closed
-  EXPECT_THROW(queue.push(JobSpec{}), PreconditionError);
+  // Push after close is a graceful rejection (streaming producers may
+  // race close()), never a crash or an exception.
+  EXPECT_FALSE(queue.push(JobSpec{}));
+  EXPECT_FALSE(queue.try_push(JobSpec{}));
+  EXPECT_EQ(queue.pushed(), 4u);
 }
 
 TEST(JobQueue, ConcurrentDrainDeliversEachJobExactlyOnce) {
   constexpr std::size_t kJobs = 64;
-  JobQueue queue;
+  JobQueue queue(/*shards=*/4);
   for (std::size_t i = 0; i < kJobs; ++i) {
     JobSpec spec;
     spec.id = i;
-    queue.push(spec);
+    spec.seed = i;  // spread cache keys across the shards
+    EXPECT_TRUE(queue.push(spec));
   }
   queue.close();
 
   std::mutex mu;
   std::set<std::size_t> seen;
   std::vector<std::thread> poppers;
-  for (int t = 0; t < 4; ++t) {
-    poppers.emplace_back([&] {
-      while (const auto job = queue.pop()) {
+  for (std::size_t t = 0; t < 4; ++t) {
+    poppers.emplace_back([&queue, &mu, &seen, t] {
+      while (const auto job = queue.pop(t)) {
         const std::lock_guard<std::mutex> lock(mu);
         EXPECT_TRUE(seen.insert(job->slot).second)
             << "slot " << job->slot << " delivered twice";
       }
     });
   }
+  for (auto& t : poppers) t.join();
+  EXPECT_EQ(seen.size(), kJobs);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(JobQueue, BoundedCapacityBackpressure) {
+  JobQueue queue(/*shards=*/2, /*capacity=*/2);
+  EXPECT_EQ(queue.capacity(), 2u);
+  EXPECT_TRUE(queue.try_push(JobSpec{}));
+  EXPECT_TRUE(queue.try_push(JobSpec{}));
+  EXPECT_FALSE(queue.try_push(JobSpec{}));  // full: refused, not blocked
+
+  // A blocking push parks until a pop frees a slot, then lands.
+  std::thread producer([&queue] {
+    JobSpec spec;
+    spec.id = 42;
+    EXPECT_TRUE(queue.push(spec));
+  });
+  EXPECT_TRUE(queue.pop(0).has_value());  // releases the producer
+  producer.join();
+  EXPECT_EQ(queue.pushed(), 3u);
+
+  // The released push really is in the queue.
+  std::size_t drained = 0;
+  queue.close();
+  while (queue.pop(0).has_value()) ++drained;
+  EXPECT_EQ(drained, 2u);
+}
+
+TEST(JobQueue, CloseUnblocksBlockedProducersAndPoppers) {
+  // Phase 1: a producer parked on the capacity bound. With no popper to
+  // free a slot, its push can only finish via close() — and must come
+  // back as a graceful rejection, not a crash.
+  JobQueue full(/*shards=*/2, /*capacity=*/1);
+  EXPECT_TRUE(full.push(JobSpec{}));  // queue now full
+  std::thread producer([&full] { EXPECT_FALSE(full.push(JobSpec{})); });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  full.close();
+  producer.join();
+  EXPECT_EQ(full.pushed(), 1u);
+
+  // Phase 2: poppers parked on an open-but-empty queue; a concurrent
+  // close must wake every one with the shutdown signal.
+  JobQueue empty(/*shards=*/2);
+  std::atomic<int> null_pops{0};
+  std::vector<std::thread> poppers;
+  for (std::size_t t = 0; t < 2; ++t)
+    poppers.emplace_back([&empty, &null_pops, t] {
+      EXPECT_FALSE(empty.pop(t).has_value());
+      ++null_pops;
+    });
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  empty.close();
+  for (auto& t : poppers) t.join();
+  EXPECT_EQ(null_pops.load(), 2);
+}
+
+TEST(JobQueue, StealingDrainsForeignShards) {
+  // All jobs share one recipe, so affinity routes every one to the same
+  // shard; a popper with a *different* home shard must steal them all.
+  JobQueue queue(/*shards=*/4);
+  JobSpec spec;
+  for (std::size_t i = 0; i < 8; ++i) {
+    spec.id = i;
+    EXPECT_TRUE(queue.push(spec));
+  }
+  queue.close();
+
+  const std::size_t home_shard = spec.cache_key() % 4;
+  const std::size_t thief = (home_shard + 1) % 4;
+  std::set<std::size_t> seen;
+  while (const auto job = queue.pop(thief)) seen.insert(job->slot);
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(JobQueue, StealVersusPopRaceDeliversExactlyOnce) {
+  // Hammer the pop-vs-steal path: every job lands in one shard (shared
+  // recipe -> shared affinity), and four workers — three of them
+  // necessarily thieves — race to drain it.
+  constexpr std::size_t kJobs = 256;
+  JobQueue queue(/*shards=*/4, /*capacity=*/16);
+  std::thread producer([&queue] {
+    JobSpec spec;  // one recipe -> one shard
+    for (std::size_t i = 0; i < kJobs; ++i) {
+      spec.id = i;
+      EXPECT_TRUE(queue.push(spec));  // backpressure throttles us
+    }
+    queue.close();
+  });
+
+  std::mutex mu;
+  std::set<std::size_t> seen;
+  std::vector<std::thread> poppers;
+  for (std::size_t t = 0; t < 4; ++t) {
+    poppers.emplace_back([&queue, &mu, &seen, t] {
+      while (const auto job = queue.pop(t)) {
+        const std::lock_guard<std::mutex> lock(mu);
+        EXPECT_TRUE(seen.insert(job->slot).second)
+            << "slot " << job->slot << " delivered twice";
+      }
+    });
+  }
+  producer.join();
   for (auto& t : poppers) t.join();
   EXPECT_EQ(seen.size(), kJobs);
   EXPECT_EQ(queue.size(), 0u);

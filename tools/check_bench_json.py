@@ -4,11 +4,16 @@
 Usage:
     check_bench_json.py FILE [FILE ...]
     check_bench_json.py --glob DIR      # validate every BENCH_*.json in DIR
+    check_bench_json.py --floor FILE    # + require the floor streaming/cache
+                                        #   record schema in FILE
 
 Each file must parse as JSON and carry a non-empty "records" array whose
 entries have the flat JsonReporter shape: name, params (str->str map),
-metric, and a numeric (or null, for non-finite) value. Exits non-zero and
-prints one line per problem on failure.
+metric, and a numeric (or null, for non-finite) value. --floor additionally
+checks that the named file carries the streaming-session and
+repeated-spec-cache records bench_floor is contracted to emit (the CI floor
+gates read them, so their absence must fail loudly rather than skip the
+gate). Exits non-zero and prints one line per problem on failure.
 
 Used by both the per-compiler "Bench artifact smoke" CI step and the
 bench-trajectory job, so the two can never drift apart.
@@ -53,6 +58,48 @@ def check_file(path: pathlib.Path) -> list[str]:
     return problems
 
 
+# (name, metric) pairs bench_floor must emit for the streaming session and
+# the repeated-spec cache mix; the CI floor gates consume these.
+FLOOR_REQUIRED_RECORDS = (
+    ("streaming", "programs_per_sec"),
+    ("streaming", "matches_batch"),
+    ("cache", "programs_per_sec"),
+    ("cache", "speedup_vs_cold"),
+    ("cache", "cache_hit_rate"),
+    ("stages", "seconds"),
+)
+
+FLOOR_REQUIRED_CACHE_CONFIGS = ("cold", "program_tier", "warm")
+
+
+def check_floor_schema(path: pathlib.Path) -> list[str]:
+    """Checks the floor-specific streaming/cache/stage record contract."""
+    try:
+        with path.open() as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return []  # unparseable: check_file already reported it
+    records = doc.get("records")
+    if not isinstance(records, list):
+        return []
+
+    problems = []
+    have = {(r.get("name"), r.get("metric")) for r in records
+            if isinstance(r, dict)}
+    for name, metric in FLOOR_REQUIRED_RECORDS:
+        if (name, metric) not in have:
+            problems.append(
+                f"{path}: missing floor record name={name} metric={metric}")
+    cache_configs = {r["params"].get("config") for r in records
+                     if isinstance(r, dict) and r.get("name") == "cache"
+                     and isinstance(r.get("params"), dict)}
+    for config in FLOOR_REQUIRED_CACHE_CONFIGS:
+        if config not in cache_configs:
+            problems.append(
+                f"{path}: missing cache sweep point config={config}")
+    return problems
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("files", nargs="*", type=pathlib.Path)
@@ -62,11 +109,19 @@ def main() -> int:
         metavar="DIR",
         help="validate every BENCH_*.json found in DIR",
     )
+    parser.add_argument(
+        "--floor",
+        type=pathlib.Path,
+        metavar="FILE",
+        help="also require the floor streaming/cache record schema in FILE",
+    )
     args = parser.parse_args()
 
     files = list(args.files)
     if args.glob is not None:
         files.extend(sorted(args.glob.glob("BENCH_*.json")))
+    if args.floor is not None and args.floor not in files:
+        files.append(args.floor)
     if not files:
         print("check_bench_json: no files to check", file=sys.stderr)
         return 2
@@ -74,6 +129,8 @@ def main() -> int:
     problems = []
     for path in files:
         problems.extend(check_file(path))
+    if args.floor is not None:
+        problems.extend(check_floor_schema(args.floor))
     for problem in problems:
         print(problem, file=sys.stderr)
     if not problems:
