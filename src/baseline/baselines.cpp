@@ -23,6 +23,7 @@ constexpr double kDffGe = 5.5;
 /// Balanced per-core scan time on \p wires dedicated wires.
 std::uint64_t solo_scan_cycles(const CoreTestSpec& core, unsigned wires) {
   std::vector<ChainItem> items;
+  items.reserve(core.chains.size());
   for (std::size_t c = 0; c < core.chains.size(); ++c)
     items.push_back(ChainItem{0, c, core.chains[c]});
   const sched::Balance b = sched::assign_lpt_refined(items, wires);

@@ -201,6 +201,7 @@ void build_optimized_switch(NetlistBuilder& b, const InstructionSet& isa,
       const std::vector<NetId> rank = netlist::popcount_bus(b, below);
       std::vector<NetId> hits;
       const unsigned q_max = std::min(w, radix - 1);
+      hits.reserve(q_max + 1);
       for (unsigned q = 0; q <= q_max; ++q)
         hits.push_back(b.and2(digit[q], b.eq_const(rank, q)));
       const NetId hit = b.or_n(hits);

@@ -65,6 +65,7 @@ GeneratedCompleteTam generate_complete_tam(const CompleteTamSpec& spec) {
   NetId ring = b.input("wsi_pin");
 
   std::vector<NetId> segment;
+  segment.reserve(spec.width);
   for (unsigned w = 0; w < spec.width; ++w)
     segment.push_back(b.input("bus_in" + std::to_string(w)));
 
@@ -75,6 +76,7 @@ GeneratedCompleteTam generate_complete_tam(const CompleteTamSpec& spec) {
 
     // Pre-allocate the wrapper->CAS return nets (wpo drives CAS i pins).
     std::vector<NetId> wpo_nets;
+    wpo_nets.reserve(p);
     for (unsigned j = 0; j < p; ++j)
       wpo_nets.push_back(b.net(prefix + "wpo" + std::to_string(j)));
 

@@ -14,6 +14,8 @@
 #include "tpg/patterns.hpp"
 #include "util/hash.hpp"
 #include "util/rng.hpp"
+#include "verify/netlist_lint.hpp"
+#include "verify/schedule_lint.hpp"
 
 namespace casbus::floor {
 namespace {
@@ -37,6 +39,53 @@ class StageTimer {
   std::chrono::steady_clock::time_point last_;
 };
 
+/// Lints one generated core netlist, including its scan-chain topology
+/// (verify rule NL007 walks the mux-D path the chain spec promises).
+verify::LintReport lint_core_netlist(const tpg::SyntheticCore& core) {
+  verify::NetlistLintConfig config;
+  config.scan_chains.reserve(core.chains.size());
+  for (std::size_t c = 0; c < core.chains.size(); ++c)
+    config.scan_chains.push_back(verify::ScanChainSpec{
+        "si" + std::to_string(c), "so" + std::to_string(c),
+        core.chains[c].size()});
+  return verify::lint_netlist(core.netlist, config);
+}
+
+/// Lints every gate-level netlist inside \p soc (scan, external, BIST,
+/// hierarchical children; memory cores are behavioral and have none).
+verify::LintReport lint_soc(const soc::Soc& soc) {
+  verify::LintReport report;
+  for (const soc::CoreInstance& core : soc.cores()) {
+    switch (core.kind) {
+      case soc::CoreKind::Scan:
+      case soc::CoreKind::External:
+        report.merge(lint_core_netlist(core.as_scan().synth()));
+        break;
+      case soc::CoreKind::Bist:
+        report.merge(lint_core_netlist(core.as_bist().synth()));
+        break;
+      case soc::CoreKind::Memory:
+        break;
+      case soc::CoreKind::Hierarchical:
+        for (const soc::CoreInstance& child : core.hier->children)
+          report.merge(lint_core_netlist(child.as_scan().synth()));
+        break;
+    }
+  }
+  return report;
+}
+
+/// Runs the Verify stage: on an error-grade finding, fails the job with
+/// the lint summary and returns false (the caller skips Simulate).
+bool verify_stage(const verify::LintReport& lint, StageTimer& timer,
+                  JobResult& result) {
+  timer.finish(Stage::Verify);
+  if (lint.admissible()) return true;
+  result.pass = false;
+  result.error = lint.summary();
+  return false;
+}
+
 /// Synthetic-core spec sized for floor jobs: big enough that execution is
 /// dominated by simulation (not queue traffic), small enough that one job
 /// stays in the tens of milliseconds.
@@ -55,7 +104,7 @@ tpg::SyntheticCoreSpec job_core_spec(Rng& rng, std::size_t chains) {
 /// via the analytic scheduler — or pull the compiled program straight from
 /// the worker's cache — then execute cycle-accurately.
 void run_scheduled(const JobSpec& spec, bool with_engines, Rng& rng,
-                   ProgramCache* cache, JobResult& result) {
+                   ProgramCache* cache, bool verify, JobResult& result) {
   StageTimer timer(result);
 
   // ---- Stage: Build -------------------------------------------------------
@@ -117,6 +166,14 @@ void run_scheduled(const JobSpec& spec, bool with_engines, Rng& rng,
     timer.finish(Stage::Compile);
   }
 
+  // ---- Stage: Verify ------------------------------------------------------
+  if (verify) {
+    verify::LintReport lint = lint_soc(*soc);
+    lint.merge(verify::lint_schedule(program->schedule, program->specs,
+                                     soc->bus().width()));
+    if (!verify_stage(lint, timer, result)) return;
+  }
+
   // ---- Stage: Simulate ----------------------------------------------------
   soc::SocTester tester(*soc);
   const soc::ScheduleRunReport report =
@@ -139,7 +196,8 @@ void run_scheduled(const JobSpec& spec, bool with_engines, Rng& rng,
 /// scheduler cannot express hierarchy, so the session is assembled by hand
 /// (charged to the Compile stage) and predicted directly with the time
 /// model.
-void run_hierarchical(const JobSpec& spec, Rng& rng, JobResult& result) {
+void run_hierarchical(const JobSpec& spec, Rng& rng, bool verify,
+                      JobResult& result) {
   StageTimer timer(result);
 
   // ---- Stage: Build -------------------------------------------------------
@@ -190,6 +248,9 @@ void run_hierarchical(const JobSpec& spec, Rng& rng, JobResult& result) {
   }
   timer.finish(Stage::Compile);
 
+  // ---- Stage: Verify ------------------------------------------------------
+  if (verify && !verify_stage(lint_soc(*soc), timer, result)) return;
+
   // ---- Stage: Simulate ----------------------------------------------------
   const soc::ScanSessionResult r = tester.run_scan_session(session);
   timer.finish(Stage::Simulate);
@@ -210,7 +271,8 @@ void run_hierarchical(const JobSpec& spec, Rng& rng, JobResult& result) {
 /// scan-test a logic core in the same window. Passing requires the MBIST
 /// verdict, clean scan responses, and zero traffic read-back errors. The
 /// interleaved mission/test windows are all charged to Simulate.
-void run_maintenance(const JobSpec& spec, Rng& rng, JobResult& result) {
+void run_maintenance(const JobSpec& spec, Rng& rng, bool verify,
+                     JobResult& result) {
   StageTimer timer(result);
 
   // ---- Stage: Build -------------------------------------------------------
@@ -238,6 +300,9 @@ void run_maintenance(const JobSpec& spec, Rng& rng, JobResult& result) {
       soc::CoreRef{2, std::nullopt}, wires,
       tpg::PatternSet::random(logic.spec.n_flipflops, patterns, rng)});
   timer.finish(Stage::Compile);
+
+  // ---- Stage: Verify ------------------------------------------------------
+  if (verify && !verify_stage(lint_soc(*soc), timer, result)) return;
 
   // ---- Stage: Simulate ----------------------------------------------------
   traffic.set_enabled(true);
@@ -290,6 +355,7 @@ const char* stage_name(Stage stage) noexcept {
     case Stage::Build: return "build";
     case Stage::Schedule: return "schedule";
     case Stage::Compile: return "compile";
+    case Stage::Verify: return "verify";
     case Stage::Simulate: return "simulate";
     case Stage::Verdict: return "verdict";
   }
@@ -314,7 +380,8 @@ bool JobSpec::same_recipe(const JobSpec& other) const noexcept {
          patterns_per_ff == other.patterns_per_ff;
 }
 
-JobResult run_job(const JobSpec& spec, ProgramCache* cache) noexcept {
+JobResult run_job(const JobSpec& spec, ProgramCache* cache,
+                  bool verify) noexcept {
   // Verdict tier: a recipe this worker already ran cleanly skips the
   // whole pipeline — run_job is pure, so the qualified result *is* what a
   // re-run would compute (only id and timing are job-specific).
@@ -334,16 +401,18 @@ JobResult run_job(const JobSpec& spec, ProgramCache* cache) noexcept {
     Rng rng(spec.seed);
     switch (spec.scenario) {
       case ScenarioKind::ScanOnly:
-        run_scheduled(spec, /*with_engines=*/false, rng, cache, result);
+        run_scheduled(spec, /*with_engines=*/false, rng, cache, verify,
+                      result);
         break;
       case ScenarioKind::BistJoin:
-        run_scheduled(spec, /*with_engines=*/true, rng, cache, result);
+        run_scheduled(spec, /*with_engines=*/true, rng, cache, verify,
+                      result);
         break;
       case ScenarioKind::Hierarchical:
-        run_hierarchical(spec, rng, result);
+        run_hierarchical(spec, rng, verify, result);
         break;
       case ScenarioKind::Maintenance:
-        run_maintenance(spec, rng, result);
+        run_maintenance(spec, rng, verify, result);
         break;
     }
     // Clean runs qualify the recipe for verdict reuse; errors never do

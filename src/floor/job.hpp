@@ -49,21 +49,27 @@ inline constexpr std::size_t kScenarioCount = 4;
 
 /// The named stages of the run_job pipeline, in execution order. Every job
 /// flows Build -> (Schedule -> Compile, skipped on a program-cache hit) ->
-/// Simulate -> Verdict; scenarios the analytic scheduler cannot express
-/// (Hierarchical/Maintenance) charge their hand-assembled session setup to
-/// Compile and leave Schedule at zero.
+/// Verify -> Simulate -> Verdict; scenarios the analytic scheduler cannot
+/// express (Hierarchical/Maintenance) charge their hand-assembled session
+/// setup to Compile and leave Schedule at zero. Verify is the static
+/// admission gate (src/verify/): it lints every generated netlist and the
+/// compiled schedule in microseconds, so a malformed design fails fast
+/// instead of burning the Simulate stage; FloorConfig::verify (or the
+/// run_job parameter) skips it.
 enum class Stage {
   Build,     ///< synthesize the SoC (cores, wrappers, CAS-BUS)
   Schedule,  ///< analytic scheduling (sched::schedule_with)
   Compile,   ///< bundle the executable program / assemble sessions
+  Verify,    ///< static lint of netlists + schedule (verify/)
   Simulate,  ///< cycle-accurate execution through the tester
   Verdict,   ///< harvest pass/fail and cycle accounting
 };
 
-inline constexpr std::size_t kStageCount = 5;
+inline constexpr std::size_t kStageCount = 6;
 
-/// Stable short name ("build", "schedule", "compile", "simulate",
-/// "verdict") — the report/bench vocabulary for stage breakdowns.
+/// Stable short name ("build", "schedule", "compile", "verify",
+/// "simulate", "verdict") — the report/bench vocabulary for stage
+/// breakdowns.
 [[nodiscard]] const char* stage_name(Stage stage) noexcept;
 
 /// Everything a worker needs to run one job. Plain value object; copying
@@ -129,9 +135,16 @@ struct JobResult {
 class ProgramCache;
 
 /// Executes \p spec end to end through the staged pipeline (Build ->
-/// Schedule -> Compile -> Simulate -> Verdict) and reports, with per-stage
-/// wall time in JobResult::stage_seconds. Never throws: scenario failures
-/// and precondition violations come back as JobResult::error.
+/// Schedule -> Compile -> Verify -> Simulate -> Verdict) and reports, with
+/// per-stage wall time in JobResult::stage_seconds. Never throws: scenario
+/// failures and precondition violations come back as JobResult::error.
+///
+/// When \p verify is true (the default), the Verify stage lints every
+/// generated core netlist and the compiled schedule (src/verify/); an
+/// error-grade finding fails the job with the lint summary in
+/// JobResult::error and Simulate never runs. The lint functions are pure,
+/// so verify-on and verify-off runs of an admissible spec produce equal
+/// deterministic result fields.
 ///
 /// When \p cache is non-null, repeated recipes are served from it at two
 /// tiers (see program_cache.hpp): the Schedule+Compile stages of scheduled
@@ -143,8 +156,8 @@ class ProgramCache;
 /// what a cold run would recompute, so cache-on and cache-off runs produce
 /// equal deterministic_summary() text. The cache must be private to the
 /// calling thread (the floor gives each worker its own).
-[[nodiscard]] JobResult run_job(const JobSpec& spec,
-                                ProgramCache* cache) noexcept;
+[[nodiscard]] JobResult run_job(const JobSpec& spec, ProgramCache* cache,
+                                bool verify = true) noexcept;
 
 /// Cache-less convenience overload.
 [[nodiscard]] JobResult run_job(const JobSpec& spec) noexcept;

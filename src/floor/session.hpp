@@ -64,6 +64,11 @@ struct FloorConfig {
   /// already ran cleanly — see program_cache.hpp). The program tier
   /// (Schedule+Compile skip) is controlled by cache_capacity alone.
   bool reuse_verdicts = true;
+  /// Runs the static Verify stage (netlist + schedule lint, src/verify/)
+  /// on every job before Simulate; error-grade findings fail the job
+  /// without simulating. Cheap (µs per job) — disable only to measure its
+  /// cost or to force a known-bad design through the tester.
+  bool verify = true;
 };
 
 /// A live streaming session. Not copyable or movable: workers hold `this`.

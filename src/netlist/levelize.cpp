@@ -5,6 +5,14 @@
 #include <sstream>
 #include <utility>
 
+// Deliberate upward dependency (cpp-only, no header cycle), following the
+// sched -> explore precedent in sched/scheduler.cpp: when levelization
+// fails, the error should name the nets on the offending loop, and the
+// cycle extractor lives in the verification layer. The casbus library is a
+// single archive; if netlist ever needs to stand alone, this reporter call
+// is the one seam to cut.
+#include "verify/netlist_lint.hpp"
+
 namespace casbus::netlist {
 
 LevelizedNetlist::LevelizedNetlist(Netlist nl) : nl_(std::move(nl)) {
@@ -86,6 +94,8 @@ void LevelizedNetlist::levelize() {
     std::ostringstream os;
     os << "combinational cycle in netlist '" << nl_.name() << "': "
        << (comb_cells - comb_order_.size()) << " cells unplaceable";
+    const std::string cycle = verify::describe_comb_cycle(nl_);
+    if (!cycle.empty()) os << "; " << cycle;
     throw SimulationError(os.str());
   }
 }

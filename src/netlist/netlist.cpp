@@ -64,6 +64,17 @@ std::size_t Netlist::dff_count() const noexcept {
                     [](const Cell& c) { return is_sequential(c.kind); }));
 }
 
+RawNetlist Netlist::to_raw() const {
+  RawNetlist raw;
+  raw.name = name_;
+  raw.n_nets = n_nets_;
+  raw.cells = cells_;
+  raw.inputs = inputs_;
+  raw.outputs = outputs_;
+  raw.net_names = net_names_;
+  return raw;
+}
+
 void Netlist::validate() const {
   std::vector<int> plain_drivers(n_nets_, 0);
   std::vector<int> tri_drivers(n_nets_, 0);

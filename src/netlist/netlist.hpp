@@ -156,6 +156,14 @@ class Netlist {
   /// non-tristate multi-drivers, outputs reading undriven nets.
   void validate() const;
 
+  /// Copies the design back into its plain-data form — the inverse of
+  /// from_raw. Transformation passes and the structural linter
+  /// (verify/netlist_lint.hpp) take RawNetlist so they can also accept
+  /// designs from_raw would reject; to_raw lets a validated design enter
+  /// that pipeline (e.g. tests that break a known-good netlist one rule at
+  /// a time and lint the wreckage).
+  [[nodiscard]] RawNetlist to_raw() const;
+
  private:
   friend class NetlistBuilder;
 

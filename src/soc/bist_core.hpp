@@ -42,6 +42,12 @@ class BistCore : public CoreModel {
   /// Session length in cycles — the test programmer's wait budget.
   [[nodiscard]] std::uint32_t cycles() const noexcept { return cycles_; }
 
+  /// The embedded logic core (netlist + scan topology) — inspected by the
+  /// floor's Verify stage, which lints every generated netlist it admits.
+  [[nodiscard]] const tpg::SyntheticCore& synth() const noexcept {
+    return core_;
+  }
+
  private:
   std::uint32_t run_reference();
 

@@ -1,0 +1,122 @@
+#include "verify/report.hpp"
+
+#include <algorithm>
+#include <array>
+#include <sstream>
+
+namespace casbus::verify {
+
+const char* severity_name(Severity s) noexcept {
+  return s == Severity::Error ? "error" : "warning";
+}
+
+const char* rule_id(RuleId rule) noexcept {
+  switch (rule) {
+    case RuleId::NetlistMalformed: return "NL000";
+    case RuleId::NetMultiDriver: return "NL001";
+    case RuleId::NetFloatingInput: return "NL002";
+    case RuleId::CombCycle: return "NL003";
+    case RuleId::GateUnreachable: return "NL004";
+    case RuleId::PortDangling: return "NL005";
+    case RuleId::NetFanout: return "NL006";
+    case RuleId::ScanChainBroken: return "NL007";
+    case RuleId::SessWireConflict: return "SC001";
+    case RuleId::SessOverCapacity: return "SC002";
+    case RuleId::SessTimeModel: return "SC003";
+    case RuleId::SessReconfig: return "SC004";
+    case RuleId::CoreNotCovered: return "SC005";
+    case RuleId::BoundIncoherent: return "SC006";
+  }
+  return "??";
+}
+
+const char* rule_name(RuleId rule) noexcept {
+  switch (rule) {
+    case RuleId::NetlistMalformed: return "netlist-malformed";
+    case RuleId::NetMultiDriver: return "net-multi-driver";
+    case RuleId::NetFloatingInput: return "net-floating-input";
+    case RuleId::CombCycle: return "comb-cycle";
+    case RuleId::GateUnreachable: return "gate-unreachable";
+    case RuleId::PortDangling: return "port-dangling";
+    case RuleId::NetFanout: return "net-fanout";
+    case RuleId::ScanChainBroken: return "scan-chain-broken";
+    case RuleId::SessWireConflict: return "sess-wire-conflict";
+    case RuleId::SessOverCapacity: return "sess-over-capacity";
+    case RuleId::SessTimeModel: return "sess-time-model";
+    case RuleId::SessReconfig: return "sess-reconfig";
+    case RuleId::CoreNotCovered: return "core-not-covered";
+    case RuleId::BoundIncoherent: return "bound-incoherent";
+  }
+  return "unknown";
+}
+
+Severity rule_severity(RuleId rule) noexcept {
+  switch (rule) {
+    case RuleId::GateUnreachable:
+    case RuleId::NetFanout:
+      return Severity::Warning;
+    default:
+      return Severity::Error;
+  }
+}
+
+std::size_t LintReport::error_count() const noexcept {
+  return static_cast<std::size_t>(
+      std::count_if(diagnostics.begin(), diagnostics.end(),
+                    [](const Diagnostic& d) {
+                      return d.severity == Severity::Error;
+                    }));
+}
+
+std::size_t LintReport::warning_count() const noexcept {
+  return diagnostics.size() - error_count();
+}
+
+bool LintReport::has(RuleId rule) const noexcept {
+  return count(rule) > 0;
+}
+
+std::size_t LintReport::count(RuleId rule) const noexcept {
+  return static_cast<std::size_t>(std::count_if(
+      diagnostics.begin(), diagnostics.end(),
+      [rule](const Diagnostic& d) { return d.rule == rule; }));
+}
+
+void LintReport::add(RuleId rule, std::size_t object, std::string message) {
+  diagnostics.push_back(
+      Diagnostic{rule, rule_severity(rule), object, std::move(message)});
+}
+
+void LintReport::merge(const LintReport& other) {
+  diagnostics.insert(diagnostics.end(), other.diagnostics.begin(),
+                     other.diagnostics.end());
+}
+
+std::string LintReport::to_string() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diagnostics) {
+    os << rule_id(d.rule) << ' ' << severity_name(d.severity);
+    if (d.object != kNoObject) os << " @" << d.object;
+    os << ": " << d.message << '\n';
+  }
+  return os.str();
+}
+
+std::string LintReport::summary() const {
+  std::array<std::size_t, kRuleCount> counts{};
+  for (const Diagnostic& d : diagnostics)
+    ++counts[static_cast<std::size_t>(d.rule)];
+  std::ostringstream os;
+  os << "verify:";
+  bool first = true;
+  for (std::size_t r = 0; r < kRuleCount; ++r) {
+    if (counts[r] == 0) continue;
+    os << (first ? " " : ", ") << rule_id(static_cast<RuleId>(r)) << " x"
+       << counts[r];
+    first = false;
+  }
+  if (first) os << " clean";
+  return os.str();
+}
+
+}  // namespace casbus::verify

@@ -1,0 +1,121 @@
+/// \file report.hpp
+/// Shared vocabulary of the static verification layer (src/verify/): rule
+/// identifiers, severities, and the LintReport both linter heads emit.
+///
+/// The verifier follows the "independent checker" pattern of reusable
+/// verification environments: one rule catalogue validated against both
+/// model levels — gate-level netlists (netlist_lint.hpp) and analytic
+/// schedules (schedule_lint.hpp) — so a malformed generated design or an
+/// illegal schedule is rejected in microseconds, before the expensive
+/// cycle-accurate Simulate stage ever sees it.
+
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace casbus::verify {
+
+/// How bad a finding is. Errors make a design/schedule inadmissible (the
+/// floor's Verify stage fails the job); warnings are reported but do not
+/// gate execution.
+enum class Severity : std::uint8_t {
+  Warning,
+  Error,
+};
+
+/// Stable lowercase name ("warning", "error").
+[[nodiscard]] const char* severity_name(Severity s) noexcept;
+
+/// Every rule either linter head can report. The short code (rule_id) is
+/// the stable external vocabulary — tests assert on it, the CLI and CI
+/// print it — and must never be renumbered.
+enum class RuleId : std::uint8_t {
+  // --- netlist structural DRC (NL...) --------------------------------------
+  NetlistMalformed,  ///< NL000: out-of-range net reference / extra pins
+  NetMultiDriver,    ///< NL001: net with conflicting non-tristate drivers
+  NetFloatingInput,  ///< NL002: cell input pin reads an undriven net
+  CombCycle,         ///< NL003: combinational cycle (reported net by net)
+  GateUnreachable,   ///< NL004: gate with no path to any primary output
+  PortDangling,      ///< NL005: output port reads an undriven net
+  NetFanout,         ///< NL006: net fanout exceeds the configured ceiling
+  ScanChainBroken,   ///< NL007: scan chain unreachable / wrong length
+  // --- schedule legality (SC...) -------------------------------------------
+  SessWireConflict,  ///< SC001: one CAS wire double-booked inside a session
+  SessOverCapacity,  ///< SC002: session needs more wires than the bus has
+  SessTimeModel,     ///< SC003: session cycles disagree with the time model
+  SessReconfig,      ///< SC004: reconfiguration accounting inconsistent
+  CoreNotCovered,    ///< SC005: a core's test budget is never fulfilled
+  BoundIncoherent,   ///< SC006: certified lower bound above the incumbent
+};
+
+inline constexpr std::size_t kRuleCount =
+    static_cast<std::size_t>(RuleId::BoundIncoherent) + 1;
+
+/// Stable short code ("NL001", "SC004", ...).
+[[nodiscard]] const char* rule_id(RuleId rule) noexcept;
+
+/// Stable human slug ("net-multi-driver", "sess-reconfig", ...).
+[[nodiscard]] const char* rule_name(RuleId rule) noexcept;
+
+/// The fixed severity of \p rule. Only GateUnreachable and NetFanout are
+/// warnings (dead logic and buffering pressure do not make a design
+/// non-executable); every other rule is an admission-gating error.
+[[nodiscard]] Severity rule_severity(RuleId rule) noexcept;
+
+/// Sentinel for Diagnostic::object when a finding has no single locus.
+inline constexpr std::size_t kNoObject = std::numeric_limits<std::size_t>::max();
+
+/// One finding. `object` locates it in the checked artifact: a NetId or
+/// CellId for netlist rules (as stated per rule in netlist_lint.hpp), a
+/// session index for schedule rules, kNoObject for whole-artifact findings.
+struct Diagnostic {
+  RuleId rule = RuleId::NetlistMalformed;
+  Severity severity = Severity::Error;
+  std::size_t object = kNoObject;
+  std::string message;
+};
+
+/// The outcome of one lint pass: every diagnostic, in deterministic rule /
+/// object order (lint functions are pure — equal inputs yield equal
+/// reports, which is what lets the floor's Verify stage run under the
+/// determinism contract of run_job).
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+
+  [[nodiscard]] std::size_t error_count() const noexcept;
+  [[nodiscard]] std::size_t warning_count() const noexcept;
+
+  /// True when nothing at all was reported (the acceptance bar for every
+  /// generated design in the tree).
+  [[nodiscard]] bool clean() const noexcept { return diagnostics.empty(); }
+
+  /// True when no *error* was reported (the floor admission bar).
+  [[nodiscard]] bool admissible() const noexcept {
+    return error_count() == 0;
+  }
+
+  [[nodiscard]] bool has(RuleId rule) const noexcept;
+
+  /// Count of diagnostics carrying \p rule.
+  [[nodiscard]] std::size_t count(RuleId rule) const noexcept;
+
+  void add(RuleId rule, std::size_t object, std::string message);
+
+  /// Appends every diagnostic of \p other (used to fold per-core netlist
+  /// reports into one job-level report).
+  void merge(const LintReport& other);
+
+  /// One line per diagnostic: "NL001 error net 7: ...". Empty string when
+  /// clean.
+  [[nodiscard]] std::string to_string() const;
+
+  /// Compact single-line form for JobResult::error ("verify: NL001 x2,
+  /// SC003 x1"), stable across runs.
+  [[nodiscard]] std::string summary() const;
+};
+
+}  // namespace casbus::verify

@@ -1,0 +1,335 @@
+#include "verify/schedule_lint.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+namespace casbus::verify {
+
+using sched::CoreTestSpec;
+using sched::Schedule;
+using sched::ScheduledSession;
+
+namespace {
+
+/// Re-derives SessionScheduler's reconfiguration cost from the raw inputs
+/// (same geometry rule: every core sees an N = width CAS, P = its wire
+/// demand).
+std::uint64_t expected_reconfig_cost(const std::vector<CoreTestSpec>& cores,
+                                     unsigned width) {
+  std::vector<std::pair<unsigned, unsigned>> geometries;
+  geometries.reserve(cores.size());
+  for (const CoreTestSpec& c : cores) {
+    const auto p = static_cast<unsigned>(
+        c.is_scan() ? std::min<std::size_t>(c.chains.size(), width) : 1);
+    geometries.emplace_back(width, p);
+  }
+  return sched::session_config_cycles(geometries, cores.size());
+}
+
+void lint_session_capacity(const ScheduledSession& s, std::size_t idx,
+                           unsigned width, std::size_t resident_bist,
+                           LintReport& report) {
+  if (s.bist_cores.size() > width) {
+    std::ostringstream os;
+    os << "session " << idx << " hosts " << s.bist_cores.size()
+       << " BIST handshakes on a " << width << "-wire bus";
+    report.add(RuleId::SessOverCapacity, idx, os.str());
+    return;
+  }
+  // Wires the scan balance may legally use: everything not reserved by
+  // this session's own BIST handshakes, nor by program-wide resident BIST
+  // engines (bist_spans_sessions).
+  const std::size_t reserved = std::max(s.bist_cores.size(), resident_bist);
+  const std::size_t scan_wires = width - reserved;
+  if (!s.scan_cores.empty() && scan_wires == 0) {
+    std::ostringstream os;
+    os << "session " << idx << " schedules scan cores but BIST reserves all "
+       << width << " wires";
+    report.add(RuleId::SessOverCapacity, idx, os.str());
+    return;
+  }
+  if (s.balance.wire_load.size() > scan_wires) {
+    std::ostringstream os;
+    os << "session " << idx << " balances over "
+       << s.balance.wire_load.size() << " wires; only " << scan_wires
+       << " are free of BIST reservations";
+    report.add(RuleId::SessOverCapacity, idx, os.str());
+  }
+}
+
+void lint_session_wires(const ScheduledSession& s, std::size_t idx,
+                        unsigned width, std::size_t resident_bist,
+                        LintReport& report) {
+  if (s.balance.wire_of_item.size() != s.items.size()) {
+    std::ostringstream os;
+    os << "session " << idx << " places " << s.balance.wire_of_item.size()
+       << " items but lists " << s.items.size();
+    report.add(RuleId::SessWireConflict, idx, os.str());
+    return;
+  }
+  const std::size_t reserved = std::max(s.bist_cores.size(), resident_bist);
+  const std::size_t scan_wires =
+      width > reserved ? width - reserved : 0;
+  // Per-core wire sets: the N/P switch routes each selected wire to one
+  // port, so chains of one core must land on distinct wires — unless the
+  // core brings more chains than there are wires (the scheduler's
+  // documented concatenation relaxation).
+  std::map<std::size_t, std::vector<unsigned>> wires_of_core;
+  for (std::size_t i = 0; i < s.items.size(); ++i) {
+    const unsigned w = s.balance.wire_of_item[i];
+    if (w >= scan_wires) {
+      std::ostringstream os;
+      os << "session " << idx << " item " << i << " (core "
+         << s.items[i].core << " chain " << s.items[i].chain
+         << ") sits on wire " << w << ", inside the BIST-reserved band";
+      report.add(RuleId::SessWireConflict, idx, os.str());
+      continue;
+    }
+    wires_of_core[s.items[i].core].push_back(w);
+  }
+  for (auto& [core, wires] : wires_of_core) {
+    if (wires.size() > scan_wires) continue;  // relaxation applies
+    std::sort(wires.begin(), wires.end());
+    if (std::adjacent_find(wires.begin(), wires.end()) != wires.end()) {
+      std::ostringstream os;
+      os << "session " << idx << " double-books a wire across core " << core
+         << "'s chains (injectivity violated with "
+         << wires.size() << " chains on " << scan_wires << " wires)";
+      report.add(RuleId::SessWireConflict, idx, os.str());
+    }
+  }
+}
+
+void lint_session_times(const ScheduledSession& s, std::size_t idx,
+                        const std::vector<CoreTestSpec>& cores,
+                        LintReport& report) {
+  // Chain items must mirror the specs of the session's scan cores exactly.
+  std::map<std::pair<std::size_t, std::size_t>, std::size_t> seen;
+  for (const sched::ChainItem& it : s.items)
+    ++seen[{it.core, it.chain}];
+  bool items_ok = true;
+  for (const std::size_t c : s.scan_cores) {
+    if (c >= cores.size()) {
+      std::ostringstream os;
+      os << "session " << idx << " references core " << c << " of "
+         << cores.size();
+      report.add(RuleId::SessTimeModel, idx, os.str());
+      return;
+    }
+    for (std::size_t ch = 0; ch < cores[c].chains.size(); ++ch)
+      if (seen[{c, ch}] != 1) items_ok = false;
+  }
+  std::size_t expected_items = 0;
+  for (const std::size_t c : s.scan_cores)
+    expected_items += cores[c].chains.size();
+  if (!items_ok || expected_items != s.items.size()) {
+    std::ostringstream os;
+    os << "session " << idx << " chain items do not match its scan cores' "
+       << "specs (" << s.items.size() << " items, " << expected_items
+       << " chains expected)";
+    report.add(RuleId::SessTimeModel, idx, os.str());
+  } else {
+    for (const sched::ChainItem& it : s.items) {
+      if (it.length != cores[it.core].chains[it.chain]) {
+        std::ostringstream os;
+        os << "session " << idx << " carries core " << it.core << " chain "
+           << it.chain << " at " << it.length << " bits; spec says "
+           << cores[it.core].chains[it.chain];
+        report.add(RuleId::SessTimeModel, idx, os.str());
+      }
+    }
+  }
+
+  // Wire loads must be the sums of the items placed on them.
+  if (s.balance.wire_of_item.size() == s.items.size()) {
+    std::vector<std::size_t> load(s.balance.wire_load.size(), 0);
+    bool in_range = true;
+    for (std::size_t i = 0; i < s.items.size(); ++i) {
+      const unsigned w = s.balance.wire_of_item[i];
+      if (w >= load.size()) {
+        in_range = false;
+        break;
+      }
+      load[w] += s.items[i].length;
+    }
+    if (!in_range || load != s.balance.wire_load) {
+      std::ostringstream os;
+      os << "session " << idx
+         << " wire loads disagree with the items placed on them";
+      report.add(RuleId::SessTimeModel, idx, os.str());
+    }
+  }
+
+  // The scan counter must be the time-model formula applied to this
+  // balance, and the BIST counter the max of the hosted engines.
+  const std::uint64_t want_scan =
+      sched::scan_cycles(s.balance.max_load(), s.patterns_applied);
+  if (s.scan_cycles != want_scan) {
+    std::ostringstream os;
+    os << "session " << idx << " claims " << s.scan_cycles
+       << " scan cycles; scan_cycles(" << s.balance.max_load() << ", "
+       << s.patterns_applied << ") = " << want_scan;
+    report.add(RuleId::SessTimeModel, idx, os.str());
+  }
+  std::uint64_t want_bist = 0;
+  bool bist_ok = true;
+  for (const std::size_t b : s.bist_cores) {
+    if (b >= cores.size()) {
+      bist_ok = false;
+      break;
+    }
+    want_bist = std::max(want_bist, cores[b].bist_cycles);
+  }
+  if (!bist_ok || s.bist_cycles != want_bist) {
+    std::ostringstream os;
+    os << "session " << idx << " claims " << s.bist_cycles
+       << " BIST cycles; hosted engines need " << want_bist;
+    report.add(RuleId::SessTimeModel, idx, os.str());
+  }
+}
+
+void lint_reconfig(const Schedule& schedule,
+                   const std::vector<CoreTestSpec>& cores, unsigned width,
+                   LintReport& report) {
+  const std::uint64_t cost = expected_reconfig_cost(cores, width);
+  for (std::size_t i = 0; i < schedule.sessions.size(); ++i) {
+    if (schedule.sessions[i].config_cycles != cost) {
+      std::ostringstream os;
+      os << "session " << i << " books "
+         << schedule.sessions[i].config_cycles
+         << " configuration cycles; this SoC costs " << cost
+         << " per reconfiguration";
+      report.add(RuleId::SessReconfig, i, os.str());
+    }
+  }
+
+  std::uint64_t sum_totals = 0;
+  std::uint64_t sum_scan_config = 0;
+  for (const ScheduledSession& s : schedule.sessions) {
+    sum_totals += s.total_cycles();
+    sum_scan_config += s.scan_cycles + s.config_cycles;
+  }
+  if (!schedule.bist_spans_sessions) {
+    if (schedule.total_cycles != sum_totals) {
+      std::ostringstream os;
+      os << "program total " << schedule.total_cycles
+         << " != sum of session totals " << sum_totals;
+      report.add(RuleId::SessReconfig, kNoObject, os.str());
+    }
+  } else if (schedule.total_cycles < sum_scan_config ||
+             schedule.total_cycles > sum_totals) {
+    // Resident BIST overlaps the scan phases, so the exact total depends
+    // on the overlap; it is still bracketed by the serial scan+config sum
+    // and the no-overlap sum.
+    std::ostringstream os;
+    os << "program total " << schedule.total_cycles << " outside ["
+       << sum_scan_config << ", " << sum_totals
+       << "] despite spanning BIST";
+    report.add(RuleId::SessReconfig, kNoObject, os.str());
+  }
+}
+
+void lint_coverage(const Schedule& schedule,
+                   const std::vector<CoreTestSpec>& cores,
+                   LintReport& report) {
+  for (std::size_t c = 0; c < cores.size(); ++c) {
+    const CoreTestSpec& spec = cores[c];
+    if (spec.is_scan()) {
+      std::uint64_t patterns = 0;
+      bool member = false;
+      for (const ScheduledSession& s : schedule.sessions) {
+        if (std::find(s.scan_cores.begin(), s.scan_cores.end(), c) ==
+            s.scan_cores.end())
+          continue;
+        member = true;
+        patterns += s.patterns_applied;
+      }
+      const bool fulfilled =
+          schedule.chip_synchronous ? patterns >= spec.patterns : member;
+      if (!fulfilled) {
+        std::ostringstream os;
+        os << "scan core " << c << " ('" << spec.name << "') receives "
+           << patterns << " of " << spec.patterns << " patterns";
+        report.add(RuleId::CoreNotCovered, c, os.str());
+      }
+    } else {
+      bool fulfilled = false;
+      for (const ScheduledSession& s : schedule.sessions)
+        for (const std::size_t b : s.bist_cores)
+          if (b == c &&
+              (!schedule.chip_synchronous ||
+               s.bist_cycles >= spec.bist_cycles))
+            fulfilled = true;
+      if (!fulfilled) {
+        std::ostringstream os;
+        os << "BIST core " << c << " ('" << spec.name
+           << "') never completes its " << spec.bist_cycles
+           << "-cycle session";
+        report.add(RuleId::CoreNotCovered, c, os.str());
+      }
+    }
+  }
+}
+
+}  // namespace
+
+LintReport lint_schedule(const Schedule& schedule,
+                         const std::vector<CoreTestSpec>& cores,
+                         unsigned bus_width) {
+  LintReport report;
+  if (bus_width == 0) {
+    report.add(RuleId::SessOverCapacity, kNoObject,
+               "schedule targets a zero-wire bus");
+    return report;
+  }
+  const std::size_t resident_bist =
+      schedule.bist_spans_sessions && !schedule.sessions.empty()
+          ? schedule.sessions.front().bist_cores.size()
+          : 0;
+  if (schedule.chip_synchronous) {
+    for (std::size_t i = 0; i < schedule.sessions.size(); ++i) {
+      const ScheduledSession& s = schedule.sessions[i];
+      // Overflow BIST chunks after a spanning scan program run with the
+      // residents already retired; only scan-bearing sessions contend
+      // with the reserved band.
+      const std::size_t resident = s.scan_cores.empty() ? 0 : resident_bist;
+      lint_session_capacity(s, i, bus_width, resident, report);
+      lint_session_wires(s, i, bus_width, resident, report);
+      lint_session_times(s, i, cores, report);
+    }
+    lint_reconfig(schedule, cores, bus_width, report);
+  }
+  lint_coverage(schedule, cores, report);
+  return report;
+}
+
+LintReport lint_branch_bound(const explore::BranchBoundResult& result,
+                             const std::vector<CoreTestSpec>& cores,
+                             unsigned bus_width) {
+  LintReport report = lint_schedule(result.schedule, cores, bus_width);
+  if (result.best_cost != result.schedule.total_cycles) {
+    std::ostringstream os;
+    os << "certificate best_cost " << result.best_cost
+       << " != incumbent total " << result.schedule.total_cycles;
+    report.add(RuleId::BoundIncoherent, kNoObject, os.str());
+  }
+  if (result.lower_bound > result.best_cost) {
+    std::ostringstream os;
+    os << "certified lower bound " << result.lower_bound
+       << " exceeds the incumbent " << result.best_cost;
+    report.add(RuleId::BoundIncoherent, kNoObject, os.str());
+  }
+  if (result.optimal && result.lower_bound != result.best_cost) {
+    std::ostringstream os;
+    os << "result marked optimal with lower bound " << result.lower_bound
+       << " below the incumbent " << result.best_cost;
+    report.add(RuleId::BoundIncoherent, kNoObject, os.str());
+  }
+  if (!result.schedule.chip_synchronous)
+    report.add(RuleId::BoundIncoherent, kNoObject,
+               "branch-and-bound incumbent is not chip-synchronous");
+  return report;
+}
+
+}  // namespace casbus::verify

@@ -1,0 +1,57 @@
+/// \file schedule_lint.hpp
+/// Head 2 of the static verification layer: legality checking of `sched`
+/// outputs against the analytic time model, without simulating.
+///
+/// Rules (see verify/report.hpp for ids and severities):
+///   SC001 sess-wire-conflict   a CAS wire double-booked (scan item placed
+///                              on a BIST-reserved wire, a core's chains
+///                              colliding despite the N/P injectivity
+///                              constraint, or a phase overlapping the
+///                              program-wide resident-BIST wires)
+///   SC002 sess-over-capacity   a session needs more wires than the bus has
+///   SC003 sess-time-model      session cycle counts disagree with
+///                              sched/time_model (scan_cycles formula, BIST
+///                              maxima, chain-item lengths vs the specs)
+///   SC004 sess-reconfig        reconfiguration accounting inconsistent
+///                              (per-session config cost, program total)
+///   SC005 core-not-covered     a core's pattern / BIST budget is never
+///                              fulfilled by the program
+///   SC006 bound-incoherent     a branch-and-bound certificate contradicts
+///                              itself (lower bound above the incumbent,
+///                              "optimal" with a residual gap, ...)
+///
+/// Diagnostic::object is the session index for SC001–SC004, the core index
+/// for SC005, and kNoObject for SC006 / whole-program findings.
+///
+/// Structural cycle checks apply to chip-synchronous schedules only:
+/// rail_emulation's coarse summary session (Schedule::chip_synchronous ==
+/// false) intentionally folds per-rail sequencing into one session whose
+/// counters the per-session formulas cannot reproduce. Membership coverage
+/// (SC005) is checked for every schedule shape.
+
+#pragma once
+
+#include <vector>
+
+#include "explore/branch_bound.hpp"
+#include "sched/scheduler.hpp"
+#include "verify/report.hpp"
+
+namespace casbus::verify {
+
+/// Lints \p schedule against the SoC it was built for. \p cores and
+/// \p bus_width must be the exact SessionScheduler inputs — the linter
+/// re-derives the reconfiguration cost and per-chain lengths from them.
+/// Pure and non-throwing for well-formed specs; equal inputs produce equal
+/// reports.
+[[nodiscard]] LintReport lint_schedule(
+    const sched::Schedule& schedule,
+    const std::vector<sched::CoreTestSpec>& cores, unsigned bus_width);
+
+/// Lints a branch-and-bound certificate: the incumbent schedule (full
+/// lint_schedule pass) plus SC006 coherence of the certified gap.
+[[nodiscard]] LintReport lint_branch_bound(
+    const explore::BranchBoundResult& result,
+    const std::vector<sched::CoreTestSpec>& cores, unsigned bus_width);
+
+}  // namespace casbus::verify
