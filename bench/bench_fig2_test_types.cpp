@@ -69,9 +69,11 @@ int main() {
                std::uint64_t{r.all_pass() ? 1u : 0u});
 
     // Stuck-at fault grade of the delivered patterns (bit-parallel, 64
-    // faults per word): what the scan session actually bought us.
+    // faults per word): what the scan session actually bought us. The
+    // shared-levelization constructor levelizes the reference core once
+    // for both the scalar and the packed engine.
     const tpg::SyntheticCore ref = tpg::make_synthetic_core(scan_spec);
-    tpg::FaultSimulator fsim(ref.netlist);
+    tpg::FaultSimulator fsim(netlist::levelize(ref.netlist));
     fsim.pin_input("scan_en", false);
     for (std::size_t i = 0; i < scan_spec.n_inputs; ++i)
       fsim.pin_input("pi" + std::to_string(i), false);

@@ -5,6 +5,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <map>
+#include <memory>
+#include <thread>
+
 #include "bench_util.hpp"
 #include "core/cas_generator.hpp"
 #include "core/test_bus.hpp"
@@ -65,20 +69,45 @@ void BM_GateSimCas(benchmark::State& state) {
 BENCHMARK(BM_GateSimCas)->Arg(4)->Arg(8)->Arg(16);
 
 /// The synthetic core shared by the scalar/packed simulation benchmarks,
-/// so their patterns/sec counters are directly comparable.
-tpg::SyntheticCore simcore_for(std::int64_t n_gates) {
-  tpg::SyntheticCoreSpec spec;
-  spec.n_inputs = 16;
-  spec.n_outputs = 16;
-  spec.n_flipflops = 64;
-  spec.n_gates = static_cast<std::size_t>(n_gates);
-  spec.n_chains = 4;
-  return tpg::make_synthetic_core(spec);
+/// so their patterns/sec counters are directly comparable. Cached per gate
+/// count: google-benchmark re-invokes the benchmark body once per
+/// measurement repetition, and regenerating the core every repetition
+/// would dominate setup time (the bench driver is single-threaded, so the
+/// static cache needs no locking).
+const tpg::SyntheticCore& simcore_for(std::int64_t n_gates) {
+  static std::map<std::int64_t, tpg::SyntheticCore> cache;
+  auto it = cache.find(n_gates);
+  if (it == cache.end()) {
+    tpg::SyntheticCoreSpec spec;
+    spec.n_inputs = 16;
+    spec.n_outputs = 16;
+    spec.n_flipflops = 64;
+    spec.n_gates = static_cast<std::size_t>(n_gates);
+    spec.n_chains = 4;
+    it = cache.emplace(n_gates, tpg::make_synthetic_core(spec)).first;
+  }
+  return it->second;
+}
+
+/// Shared levelization of simcore_for(n_gates), computed once per gate
+/// count instead of once per repetition.
+const std::shared_ptr<const netlist::LevelizedNetlist>& simcore_lev(
+    std::int64_t n_gates) {
+  static std::map<std::int64_t,
+                  std::shared_ptr<const netlist::LevelizedNetlist>>
+      cache;
+  auto it = cache.find(n_gates);
+  if (it == cache.end())
+    it = cache
+             .emplace(n_gates,
+                      netlist::levelize(simcore_for(n_gates).netlist))
+             .first;
+  return it->second;
 }
 
 /// Gate-level simulation of a synthetic core: one pattern per eval pass.
 void BM_GateSimCore(benchmark::State& state) {
-  const tpg::SyntheticCore core = simcore_for(state.range(0));
+  const tpg::SyntheticCore& core = simcore_for(state.range(0));
   netlist::GateSim sim(core.netlist);
   sim.reset();
   Rng rng(2);
@@ -102,8 +131,8 @@ BENCHMARK(BM_GateSimCore)->Arg(256)->Arg(1024)->Arg(4096);
 /// patterns_per_sec here / patterns_per_sec of BM_GateSimCore at the same
 /// gate count is the word-level speedup (acceptance target: >= 10x).
 void BM_PackedGateSim(benchmark::State& state) {
-  const tpg::SyntheticCore core = simcore_for(state.range(0));
-  netlist::PackedGateSim sim(core.netlist);
+  const tpg::SyntheticCore& core = simcore_for(state.range(0));
+  netlist::PackedGateSim sim(simcore_lev(state.range(0)));
   sim.reset();
   Rng rng(2);
   for (auto _ : state) {
@@ -125,16 +154,88 @@ void BM_PackedGateSim(benchmark::State& state) {
 }
 BENCHMARK(BM_PackedGateSim)->Arg(256)->Arg(1024)->Arg(4096);
 
+/// Scan-shift workload shared by the sweep/event packed benchmarks:
+/// scan_en held high, functional inputs quiet, and a repeat-fill scan
+/// stream (the fill value flips only every 4 chain lengths, as in
+/// repeat-fill ATPG compression). Per shift cycle only the old/new-value
+/// boundary moves — one flip-flop per chain changes — so almost every
+/// logic cone is quiescent. This is the workload the event-driven mode is
+/// built for; the "activity" counter records the fraction of gate
+/// evaluations it actually performed (1.0 for a full sweep).
+void run_packed_shift(benchmark::State& state, netlist::EvalMode mode) {
+  const tpg::SyntheticCore& core = simcore_for(state.range(0));
+  netlist::PackedGateSim sim(simcore_lev(state.range(0)), mode);
+  sim.reset();
+  for (std::size_t i = 0; i < core.spec.n_inputs; ++i)
+    sim.set_input_index(i, Logic64{~0ULL, 0});  // all lanes driven 0
+  sim.set_input("scan_en", Logic4::One);
+  const std::size_t refill = 4 * core.max_chain_length();
+  std::size_t cycle = 0;
+  bool fill = false;
+  for (auto _ : state) {
+    if (cycle++ % refill == 0) fill = !fill;
+    for (std::size_t c = 0; c < core.spec.n_chains; ++c)
+      sim.set_input("si" + std::to_string(c),
+                    fill ? Logic4::One : Logic4::Zero);
+    sim.eval();
+    sim.tick();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0) * 64);
+  state.counters["patterns_per_sec"] =
+      benchmark::Counter(64.0, benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["activity"] = sim.stats().activity();
+}
+
+/// Full-sweep baseline on the scan-shift workload.
+void BM_PackedGateSimSweepShift(benchmark::State& state) {
+  run_packed_shift(state, netlist::EvalMode::FullSweep);
+}
+BENCHMARK(BM_PackedGateSimSweepShift)->Arg(1024)->Arg(4096);
+
+/// Event-driven mode on the same workload; patterns_per_sec here /
+/// BM_PackedGateSimSweepShift at the same gate count is the event-driven
+/// speedup (acceptance target: >= 3x on this workload).
+void BM_PackedGateSimEventShift(benchmark::State& state) {
+  run_packed_shift(state, netlist::EvalMode::EventDriven);
+}
+BENCHMARK(BM_PackedGateSimEventShift)->Arg(1024)->Arg(4096);
+
+/// The core graded by every fault-simulation benchmark, cached like
+/// simcore_for so repetitions share one generation + levelization.
+const tpg::SyntheticCore& faultcore_for(std::int64_t n_gates) {
+  static std::map<std::int64_t, tpg::SyntheticCore> cache;
+  auto it = cache.find(n_gates);
+  if (it == cache.end()) {
+    tpg::SyntheticCoreSpec spec;
+    spec.n_inputs = 8;
+    spec.n_outputs = 8;
+    spec.n_flipflops = 16;
+    spec.n_gates = static_cast<std::size_t>(n_gates);
+    it = cache.emplace(n_gates, tpg::make_synthetic_core(spec)).first;
+  }
+  return it->second;
+}
+
+const std::shared_ptr<const netlist::LevelizedNetlist>& faultcore_lev(
+    std::int64_t n_gates) {
+  static std::map<std::int64_t,
+                  std::shared_ptr<const netlist::LevelizedNetlist>>
+      cache;
+  auto it = cache.find(n_gates);
+  if (it == cache.end())
+    it = cache
+             .emplace(n_gates,
+                      netlist::levelize(faultcore_for(n_gates).netlist))
+             .first;
+  return it->second;
+}
+
 /// Serial stuck-at fault simulation (pattern x fault grid), one faulty
 /// machine per eval pass — the pre-packed baseline.
 void BM_FaultSim(benchmark::State& state) {
-  tpg::SyntheticCoreSpec spec;
-  spec.n_inputs = 8;
-  spec.n_outputs = 8;
-  spec.n_flipflops = 16;
-  spec.n_gates = static_cast<std::size_t>(state.range(0));
-  const tpg::SyntheticCore core = tpg::make_synthetic_core(spec);
-  tpg::FaultSimulator fsim(core.netlist);
+  const tpg::SyntheticCore& core = faultcore_for(state.range(0));
+  tpg::FaultSimulator fsim(faultcore_lev(state.range(0)));
   const auto faults = tpg::enumerate_faults(core.netlist);
   Rng rng(3);
   const auto patterns =
@@ -150,13 +251,8 @@ BENCHMARK(BM_FaultSim)->Arg(64)->Arg(256);
 /// Bit-parallel stuck-at fault simulation: 64 faults per machine word,
 /// same pattern x fault grid as BM_FaultSim.
 void BM_FaultSim64(benchmark::State& state) {
-  tpg::SyntheticCoreSpec spec;
-  spec.n_inputs = 8;
-  spec.n_outputs = 8;
-  spec.n_flipflops = 16;
-  spec.n_gates = static_cast<std::size_t>(state.range(0));
-  const tpg::SyntheticCore core = tpg::make_synthetic_core(spec);
-  tpg::FaultSimulator fsim(core.netlist);
+  const tpg::SyntheticCore& core = faultcore_for(state.range(0));
+  tpg::FaultSimulator fsim(faultcore_lev(state.range(0)));
   const auto faults = tpg::enumerate_faults(core.netlist);
   Rng rng(3);
   const auto patterns =
@@ -168,6 +264,54 @@ void BM_FaultSim64(benchmark::State& state) {
   state.counters["faults"] = static_cast<double>(faults.size());
 }
 BENCHMARK(BM_FaultSim64)->Arg(64)->Arg(256);
+
+/// BM_FaultSim64 with event-driven workers: grading identical, but each
+/// faulty batch re-simulates only the fault cones. The "activity" counter
+/// is the fraction of full-sweep gate evaluations actually performed.
+void BM_FaultSim64Event(benchmark::State& state) {
+  const tpg::SyntheticCore& core = faultcore_for(state.range(0));
+  tpg::FaultSimulator fsim(faultcore_lev(state.range(0)),
+                           netlist::EvalMode::EventDriven);
+  const auto faults = tpg::enumerate_faults(core.netlist);
+  Rng rng(3);
+  const auto patterns =
+      tpg::PatternSet::random(fsim.pattern_width(), 8, rng);
+  for (auto _ : state) {
+    const auto report = fsim.run(patterns, faults);
+    benchmark::DoNotOptimize(report.detected);
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+  state.counters["activity"] = fsim.stats().activity();
+}
+BENCHMARK(BM_FaultSim64Event)->Arg(64)->Arg(256);
+
+/// Threaded fault campaign on a campaign-sized grid (1024 gates, ~3k
+/// faults, 32 patterns), sharded across range(0) worker threads
+/// (run_fault_campaign). The detection maps are byte-identical at every
+/// thread count; speedup at 4 threads over 1 is the campaign-level
+/// scaling (acceptance target: >= 2.5x on >= 4 physical cores — see
+/// docs/BENCHMARKS.md and tools/check_perf_gates.py).
+void BM_FaultSimThreaded(benchmark::State& state) {
+  const std::int64_t n_gates = 1024;
+  const tpg::SyntheticCore& core = faultcore_for(n_gates);
+  tpg::FaultSimulator fsim(faultcore_lev(n_gates));
+  const auto faults = tpg::enumerate_faults(core.netlist);
+  Rng rng(3);
+  const auto patterns =
+      tpg::PatternSet::random(fsim.pattern_width(), 32, rng);
+  const auto threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    const auto report = fsim.run(patterns, faults, threads);
+    benchmark::DoNotOptimize(report.detected);
+  }
+  state.counters["faults"] = static_cast<double>(faults.size());
+  state.counters["threads"] = static_cast<double>(threads);
+  // Scaling is only observable on multi-core hosts; the CI gate keys off
+  // this counter and skips the speedup check on smaller machines.
+  state.counters["hw_threads"] =
+      static_cast<double>(std::thread::hardware_concurrency());
+}
+BENCHMARK(BM_FaultSimThreaded)->Arg(1)->Arg(2)->Arg(4);
 
 /// CAS generation + optimization cost.
 void BM_GenerateCas(benchmark::State& state) {

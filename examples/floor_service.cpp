@@ -36,7 +36,7 @@ constexpr const char* kOptionsHelp =
     " [--scenario-mix scan:4,bist:2,hier:1,maint:1]"
     " [--strategy single|per_core|greedy|phased|exact|branch_bound]"
     " [--patterns-per-ff K] [--queue-capacity Q] [--cache C]"
-    " [--stream] [--summary]";
+    " [--sim-threads T] [--sweep-sim] [--stream] [--summary]";
 
 /// Streaming mode: submit jobs one by one into the live session (the
 /// bounded queue throttles the producer) and print each result as the
@@ -99,6 +99,9 @@ int main(int argc, char** argv) {
         config.queue_capacity = std::stoul(cli.value());
       else if (cli.is("--cache"))
         config.cache_capacity = std::stoul(cli.value());
+      else if (cli.is("--sim-threads"))
+        config.sim_threads = std::stoul(cli.value());
+      else if (cli.is("--sweep-sim")) config.event_sim = !cli.boolean();
       else if (cli.is("--stream")) stream = cli.boolean();
       else if (cli.is("--summary")) summary = cli.boolean();
       else cli.fail();

@@ -39,6 +39,15 @@ class StageTimer {
   std::chrono::steady_clock::time_point last_;
 };
 
+/// Maps the floor-level engine knobs onto soc::TesterOptions.
+soc::TesterOptions tester_options(const JobSimOptions& sim) {
+  soc::TesterOptions opts;
+  opts.sim_mode = sim.event_sim ? netlist::EvalMode::EventDriven
+                                : netlist::EvalMode::FullSweep;
+  opts.sim_threads = sim.sim_threads;
+  return opts;
+}
+
 /// Lints one generated core netlist, including its scan-chain topology
 /// (verify rule NL007 walks the mux-D path the chain spec promises).
 verify::LintReport lint_core_netlist(const tpg::SyntheticCore& core) {
@@ -104,7 +113,8 @@ tpg::SyntheticCoreSpec job_core_spec(Rng& rng, std::size_t chains) {
 /// via the analytic scheduler — or pull the compiled program straight from
 /// the worker's cache — then execute cycle-accurately.
 void run_scheduled(const JobSpec& spec, bool with_engines, Rng& rng,
-                   ProgramCache* cache, bool verify, JobResult& result) {
+                   ProgramCache* cache, bool verify,
+                   const JobSimOptions& sim, JobResult& result) {
   StageTimer timer(result);
 
   // ---- Stage: Build -------------------------------------------------------
@@ -175,7 +185,7 @@ void run_scheduled(const JobSpec& spec, bool with_engines, Rng& rng,
   }
 
   // ---- Stage: Simulate ----------------------------------------------------
-  soc::SocTester tester(*soc);
+  soc::SocTester tester(*soc, tester_options(sim));
   const soc::ScheduleRunReport report =
       soc::run_program(*soc, tester, *program);
   timer.finish(Stage::Simulate);
@@ -197,7 +207,7 @@ void run_scheduled(const JobSpec& spec, bool with_engines, Rng& rng,
 /// (charged to the Compile stage) and predicted directly with the time
 /// model.
 void run_hierarchical(const JobSpec& spec, Rng& rng, bool verify,
-                      JobResult& result) {
+                      const JobSimOptions& sim, JobResult& result) {
   StageTimer timer(result);
 
   // ---- Stage: Build -------------------------------------------------------
@@ -215,7 +225,7 @@ void run_hierarchical(const JobSpec& spec, Rng& rng, bool verify,
                                 static_cast<unsigned>(children),
                                 std::move(child_specs));
   auto soc = builder.build();
-  soc::SocTester tester(*soc);
+  soc::SocTester tester(*soc, tester_options(sim));
   timer.finish(Stage::Build);
 
   // ---- Stage: Compile (hand-assembled session) ----------------------------
@@ -272,7 +282,7 @@ void run_hierarchical(const JobSpec& spec, Rng& rng, bool verify,
 /// verdict, clean scan responses, and zero traffic read-back errors. The
 /// interleaved mission/test windows are all charged to Simulate.
 void run_maintenance(const JobSpec& spec, Rng& rng, bool verify,
-                     JobResult& result) {
+                     const JobSimOptions& sim, JobResult& result) {
   StageTimer timer(result);
 
   // ---- Stage: Build -------------------------------------------------------
@@ -285,7 +295,7 @@ void run_maintenance(const JobSpec& spec, Rng& rng, bool verify,
   auto soc = builder.build();
 
   soc::MemoryTraffic traffic(*soc, 1, rng.next());
-  soc::SocTester tester(*soc);
+  soc::SocTester tester(*soc, tester_options(sim));
   soc::MemoryCore& ram = soc->cores()[0].as_memory();
   timer.finish(Stage::Build);
 
@@ -381,7 +391,7 @@ bool JobSpec::same_recipe(const JobSpec& other) const noexcept {
 }
 
 JobResult run_job(const JobSpec& spec, ProgramCache* cache,
-                  bool verify) noexcept {
+                  bool verify, JobSimOptions sim) noexcept {
   // Verdict tier: a recipe this worker already ran cleanly skips the
   // whole pipeline — run_job is pure, so the qualified result *is* what a
   // re-run would compute (only id and timing are job-specific).
@@ -402,17 +412,17 @@ JobResult run_job(const JobSpec& spec, ProgramCache* cache,
     switch (spec.scenario) {
       case ScenarioKind::ScanOnly:
         run_scheduled(spec, /*with_engines=*/false, rng, cache, verify,
-                      result);
+                      sim, result);
         break;
       case ScenarioKind::BistJoin:
         run_scheduled(spec, /*with_engines=*/true, rng, cache, verify,
-                      result);
+                      sim, result);
         break;
       case ScenarioKind::Hierarchical:
-        run_hierarchical(spec, rng, verify, result);
+        run_hierarchical(spec, rng, verify, sim, result);
         break;
       case ScenarioKind::Maintenance:
-        run_maintenance(spec, rng, verify, result);
+        run_maintenance(spec, rng, verify, sim, result);
         break;
     }
     // Clean runs qualify the recipe for verdict reuse; errors never do

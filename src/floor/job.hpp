@@ -134,6 +134,21 @@ struct JobResult {
 
 class ProgramCache;
 
+/// Simulation-engine options forwarded to a job's private SocTester
+/// (soc::TesterOptions carries the full contract). Both knobs are pure
+/// optimisations: every deterministic JobResult field is byte-identical
+/// for any combination, so they are excluded from JobSpec::cache_key —
+/// a cached program/verdict is valid under any engine configuration.
+struct JobSimOptions {
+  /// Event-driven golden-model evaluation (netlist::EvalMode::EventDriven)
+  /// instead of full sweeps. Exact by construction (packed_gatesim.hpp).
+  bool event_sim = true;
+  /// Threads for precomputing a session's golden responses (1 = inline,
+  /// 0 = one per hardware thread). Responses depend only on (core,
+  /// pattern), so the thread count cannot change any result.
+  std::size_t sim_threads = 1;
+};
+
 /// Executes \p spec end to end through the staged pipeline (Build ->
 /// Schedule -> Compile -> Verify -> Simulate -> Verdict) and reports, with
 /// per-stage wall time in JobResult::stage_seconds. Never throws: scenario
@@ -157,7 +172,8 @@ class ProgramCache;
 /// equal deterministic_summary() text. The cache must be private to the
 /// calling thread (the floor gives each worker its own).
 [[nodiscard]] JobResult run_job(const JobSpec& spec, ProgramCache* cache,
-                                bool verify = true) noexcept;
+                                bool verify = true,
+                                JobSimOptions sim = {}) noexcept;
 
 /// Cache-less convenience overload.
 [[nodiscard]] JobResult run_job(const JobSpec& spec) noexcept;

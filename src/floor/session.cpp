@@ -73,7 +73,9 @@ void FloorSession::worker_main(std::size_t worker) {
 
   while (std::optional<SlottedJob> job = queue_.pop(worker)) {
     const auto start = std::chrono::steady_clock::now();
-    JobResult result = run_job(job->spec, cache_ptr, config_.verify);
+    JobResult result =
+        run_job(job->spec, cache_ptr, config_.verify,
+                JobSimOptions{config_.event_sim, config_.sim_threads});
     result.wall_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       start)

@@ -27,6 +27,9 @@
 /// off, and to an equivalent batch TestFloor::run over the same list.
 /// Caches cannot break this because compilation is pure (see job.hpp);
 /// stealing cannot because results land by slot, never by completion.
+/// The simulation-engine knobs (event_sim, sim_threads) cannot either:
+/// both are pure optimisations of the Simulate stage (see JobSimOptions
+/// in job.hpp and the measured cost model in docs/PERFORMANCE.md).
 
 #pragma once
 
@@ -69,6 +72,17 @@ struct FloorConfig {
   /// without simulating. Cheap (µs per job) — disable only to measure its
   /// cost or to force a known-bad design through the tester.
   bool verify = true;
+  /// Event-driven golden-model evaluation in each job's tester
+  /// (JobSimOptions::event_sim). Pure optimisation: deterministic results
+  /// are byte-identical either way.
+  bool event_sim = true;
+  /// Golden-response precompute threads inside each job's Simulate stage
+  /// (JobSimOptions::sim_threads; 1 = inline, 0 = one per hardware
+  /// thread). Multiplies with `workers` — prefer sim_threads > 1 when a
+  /// floor runs few, simulation-heavy jobs, and workers > 1 when it runs
+  /// many. Cannot change any deterministic result or the
+  /// deterministic_summary() text.
+  std::size_t sim_threads = 1;
 };
 
 /// A live streaming session. Not copyable or movable: workers hold `this`.

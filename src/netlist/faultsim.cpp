@@ -1,14 +1,18 @@
 #include "netlist/faultsim.hpp"
 
+#include <algorithm>
+#include <exception>
+#include <thread>
 #include <utility>
 
 namespace casbus::netlist {
 
-FaultSim::FaultSim(Netlist nl)
-    : FaultSim(std::make_shared<const LevelizedNetlist>(std::move(nl))) {}
+FaultSim::FaultSim(Netlist nl, EvalMode mode)
+    : FaultSim(std::make_shared<const LevelizedNetlist>(std::move(nl)),
+               mode) {}
 
-FaultSim::FaultSim(std::shared_ptr<const LevelizedNetlist> lev)
-    : sim_(std::move(lev)) {
+FaultSim::FaultSim(std::shared_ptr<const LevelizedNetlist> lev, EvalMode mode)
+    : sim_(std::move(lev), mode) {
   set_observation(true, true);
 }
 
@@ -106,6 +110,97 @@ std::size_t FaultSim::detect_all(const std::vector<StuckAtFault>& faults,
   }
   flush();
   return newly;
+}
+
+FaultCampaignReport run_fault_campaign(
+    std::shared_ptr<const LevelizedNetlist> lev,
+    const std::vector<StuckAtFault>& faults, std::size_t pattern_count,
+    const FaultCampaignLoader& load, const FaultCampaignOptions& opts) {
+  CASBUS_REQUIRE(lev != nullptr, "run_fault_campaign: null netlist");
+  FaultCampaignReport report;
+  report.detected.assign(faults.size(), 0);
+  report.first_detect_pattern.assign(faults.size(), -1);
+  if (faults.empty() || pattern_count == 0) return report;
+
+  std::size_t threads = opts.threads;
+  if (threads == 0) {
+    const unsigned hw = std::thread::hardware_concurrency();
+    threads = hw == 0 ? 1 : hw;
+  }
+  threads = std::min(threads, faults.size());
+
+  // One worker grades the contiguous shard [lo, hi): a private engine over
+  // the shared immutable levelization, all patterns in order, fault
+  // dropping within the shard. Workers write disjoint slices of the
+  // report vectors, so no synchronisation is needed until the join.
+  const auto grade_shard = [&](std::size_t lo, std::size_t hi,
+                               SimStats* stats_out) {
+    FaultSim fs(lev, opts.mode);
+    fs.set_observation(opts.observe_outputs, opts.observe_dffs);
+    StuckAtFault batch[FaultSim::kBatch];
+    std::size_t batch_idx[FaultSim::kBatch];
+    std::size_t remaining = hi - lo;
+    for (std::size_t p = 0; p < pattern_count && remaining > 0; ++p) {
+      load(fs, p);
+      std::size_t n = 0;
+      const auto flush = [&] {
+        if (n == 0) return;
+        const std::uint64_t hit = fs.detect_batch(batch, n);
+        for (std::size_t i = 0; i < n; ++i) {
+          if ((hit >> i) & 1ULL) {
+            report.detected[batch_idx[i]] = 1;
+            report.first_detect_pattern[batch_idx[i]] =
+                static_cast<std::int32_t>(p);
+            --remaining;
+          }
+        }
+        n = 0;
+      };
+      for (std::size_t f = lo; f < hi; ++f) {
+        if (report.detected[f] != 0) continue;  // fault dropping
+        batch[n] = faults[f];
+        batch_idx[n] = f;
+        if (++n == FaultSim::kBatch) flush();
+      }
+      flush();
+    }
+    *stats_out = fs.stats();
+  };
+
+  std::vector<SimStats> shard_stats(threads);
+  const std::size_t base = faults.size() / threads;
+  const std::size_t extra = faults.size() % threads;
+  if (threads == 1) {
+    grade_shard(0, faults.size(), &shard_stats[0]);
+  } else {
+    std::vector<std::thread> pool;
+    std::vector<std::exception_ptr> errors(threads);
+    pool.reserve(threads);
+    std::size_t lo = 0;
+    for (std::size_t t = 0; t < threads; ++t) {
+      const std::size_t hi = lo + base + (t < extra ? 1 : 0);
+      pool.emplace_back([&, t, lo, hi] {
+        try {
+          grade_shard(lo, hi, &shard_stats[t]);
+        } catch (...) {
+          errors[t] = std::current_exception();
+        }
+      });
+      lo = hi;
+    }
+    for (std::thread& t : pool) t.join();
+    for (const std::exception_ptr& e : errors)
+      if (e) std::rethrow_exception(e);
+  }
+
+  for (const std::uint8_t d : report.detected)
+    report.detected_count += d;
+  for (const SimStats& s : shard_stats) {
+    report.stats.eval_passes += s.eval_passes;
+    report.stats.cell_evals += s.cell_evals;
+    report.stats.sweep_cell_evals += s.sweep_cell_evals;
+  }
+  return report;
 }
 
 std::vector<StuckAtFault> enumerate_stuck_at_faults(const Netlist& nl) {

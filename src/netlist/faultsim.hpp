@@ -12,10 +12,21 @@
 /// pattern sets, pinning or scan; callers (tpg::FaultSimulator, examples,
 /// benches) assemble the per-pattern input/flip-flop assignment and hand
 /// batches of faults down.
+///
+/// ## Threading and determinism (docs/PERFORMANCE.md)
+///
+/// One FaultSim instance is single-threaded. Campaign-level parallelism
+/// comes from run_fault_campaign(): each worker owns a private FaultSim
+/// over the *shared immutable* LevelizedNetlist and grades a contiguous
+/// shard of the fault list. Whether one pattern detects one fault depends
+/// only on (netlist, pattern, fault) — never on other faults — so the
+/// merged detection map is byte-identical for any thread count, including
+/// the first-detecting-pattern index under fault dropping.
 
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <vector>
 
@@ -40,8 +51,20 @@ class FaultSim {
   /// Faults simulated per packed eval pass.
   static constexpr std::size_t kBatch = PackedGateSim::kLanes;
 
-  explicit FaultSim(Netlist nl);
-  explicit FaultSim(std::shared_ptr<const LevelizedNetlist> lev);
+  explicit FaultSim(Netlist nl, EvalMode mode = EvalMode::FullSweep);
+  explicit FaultSim(std::shared_ptr<const LevelizedNetlist> lev,
+                    EvalMode mode = EvalMode::FullSweep);
+
+  /// Switches the embedded engine's evaluation strategy (same detection
+  /// results either way; EventDriven only re-simulates the fault cones).
+  void set_mode(EvalMode mode) { sim_.set_mode(mode); }
+  [[nodiscard]] EvalMode mode() const noexcept { return sim_.mode(); }
+
+  /// Gate-evaluation counters of the embedded engine (activity factor).
+  [[nodiscard]] const SimStats& stats() const noexcept {
+    return sim_.stats();
+  }
+  void reset_stats() noexcept { sim_.reset_stats(); }
 
   [[nodiscard]] const Netlist& design() const noexcept {
     return sim_.design();
@@ -103,5 +126,55 @@ class FaultSim {
 /// construction). Mirrors tpg::enumerate_faults, at the netlist layer.
 [[nodiscard]] std::vector<StuckAtFault> enumerate_stuck_at_faults(
     const Netlist& nl);
+
+// --- threaded fault campaigns ----------------------------------------------
+
+/// Knobs of run_fault_campaign().
+struct FaultCampaignOptions {
+  /// Worker threads; 0 means one per hardware thread. The result is
+  /// byte-identical for every value (see the file comment).
+  std::size_t threads = 1;
+  /// Evaluation strategy of each worker's private engine.
+  EvalMode mode = EvalMode::FullSweep;
+  /// Observation points, as in FaultSim::set_observation.
+  bool observe_outputs = true;
+  bool observe_dffs = true;
+};
+
+/// Per-fault outcome of a campaign, merged in fault-index order.
+struct FaultCampaignReport {
+  /// 1 where the fault was detected by some pattern (std::uint8_t, not
+  /// vector<bool>: workers write disjoint index ranges concurrently).
+  std::vector<std::uint8_t> detected;
+  /// Index of the first detecting pattern per fault, -1 if undetected.
+  /// Well-defined under fault dropping: patterns are graded in order.
+  std::vector<std::int32_t> first_detect_pattern;
+  std::size_t detected_count = 0;
+  /// Summed engine counters across workers (activity measurement).
+  SimStats stats;
+
+  [[nodiscard]] double coverage() const noexcept {
+    return detected.empty() ? 1.0
+                            : static_cast<double>(detected_count) /
+                                  static_cast<double>(detected.size());
+  }
+};
+
+/// Loads pattern \p index into a worker's engine (inputs + DFF states).
+/// Must be safe to call concurrently from several threads on distinct
+/// FaultSim instances — i.e. read-only on captured state.
+using FaultCampaignLoader =
+    std::function<void(FaultSim& sim, std::size_t index)>;
+
+/// Grades \p faults against \p pattern_count patterns with fault dropping,
+/// sharding the fault list contiguously across opts.threads workers. Each
+/// worker owns a private FaultSim over the shared \p lev (levelized once,
+/// never mutated) and walks all patterns in order over its shard, so the
+/// report — including first_detect_pattern — is independent of the thread
+/// count. Throws whatever a worker threw, after joining all workers.
+[[nodiscard]] FaultCampaignReport run_fault_campaign(
+    std::shared_ptr<const LevelizedNetlist> lev,
+    const std::vector<StuckAtFault>& faults, std::size_t pattern_count,
+    const FaultCampaignLoader& load, const FaultCampaignOptions& opts = {});
 
 }  // namespace casbus::netlist

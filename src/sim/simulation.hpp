@@ -1,5 +1,14 @@
 /// \file simulation.hpp
 /// The cycle-level simulation kernel: wire factory, settle loop, clock.
+///
+/// This is the *behavioural* engine — named wires, module callbacks, a
+/// settle-until-fixpoint delta loop — used by the TAM models in src/core/
+/// and src/soc/. The gate-level engines live one layer down in
+/// src/netlist/: GateSim (scalar), PackedGateSim (64 patterns per pass,
+/// with an exact event-driven mode), and FaultSim (64 faulty machines per
+/// pass, threadable via run_fault_campaign). docs/ARCHITECTURE.md maps
+/// the layers; docs/PERFORMANCE.md records the measured cost model across
+/// all four engines.
 
 #pragma once
 

@@ -1,6 +1,9 @@
 #include "soc/tester.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <exception>
+#include <thread>
 
 #include "core/config_protocol.hpp"
 #include "util/rng.hpp"
@@ -10,7 +13,39 @@ namespace casbus::soc {
 using tam::InstructionSet;
 using tam::SwitchScheme;
 
-SocTester::SocTester(Soc& soc) : soc_(soc) {}
+SocTester::SocTester(Soc& soc, TesterOptions options)
+    : soc_(soc), options_(options) {}
+
+tpg::FaultSimulator& SocTester::golden_for(const CoreRef& ref) {
+  auto it = golden_.find(ref);
+  if (it == golden_.end()) {
+    const tpg::SyntheticCore& sc = synth_of(ref);
+    auto fsim = std::make_unique<tpg::FaultSimulator>(
+        netlist::levelize(sc.netlist), options_.sim_mode);
+    for (std::size_t i = 0; i < sc.spec.n_inputs; ++i)
+      fsim->pin_input("pi" + std::to_string(i), false);
+    fsim->pin_input("scan_en", false);
+    for (std::size_t c = 0; c < sc.spec.n_chains; ++c)
+      fsim->pin_input("si" + std::to_string(c), false);
+    it = golden_.emplace(ref, std::move(fsim)).first;
+  }
+  return *it->second;
+}
+
+const BitVector& SocTester::expected_response(const CoreRef& ref,
+                                              const BitVector& pattern) {
+  // find-then-emplace so the concurrent precompute path (which pre-creates
+  // every per-core entry serially) never mutates the outer map.
+  auto mit = golden_cache_.find(ref);
+  if (mit == golden_cache_.end())
+    mit = golden_cache_.emplace(ref, decltype(mit->second){}).first;
+  std::unordered_map<std::string, BitVector>& cache = mit->second;
+  const std::string key = pattern.to_string();
+  auto it = cache.find(key);
+  if (it == cache.end())
+    it = cache.emplace(key, golden_for(ref).good_response(pattern)).first;
+  return it->second;
+}
 
 void SocTester::reset() { soc_.reset(); }
 
@@ -255,20 +290,69 @@ ScanSessionResult SocTester::run_scan_session(const ScanSession& session) {
   std::size_t max_patterns = 0;
   for (const ScanTarget& target : session.targets) {
     max_patterns = std::max(max_patterns, target.patterns.size());
-    if (golden_.find(target.core) == golden_.end()) {
-      const tpg::SyntheticCore& sc = synth_of(target.core);
-      auto fsim = std::make_unique<tpg::FaultSimulator>(sc.netlist);
-      for (std::size_t i = 0; i < sc.spec.n_inputs; ++i)
-        fsim->pin_input("pi" + std::to_string(i), false);
-      fsim->pin_input("scan_en", false);
-      for (std::size_t c = 0; c < sc.spec.n_chains; ++c)
-        fsim->pin_input("si" + std::to_string(c), false);
-      golden_.emplace(target.core, std::move(fsim));
-    }
+    // Create the simulator and its response cache up front (serially):
+    // the precompute below then only touches per-core state.
+    (void)golden_for(target.core);
+    golden_cache_[target.core];
     CASBUS_REQUIRE(
         target.patterns.empty() ||
             target.patterns.width() == synth_of(target.core).spec.n_flipflops,
         "scan patterns must have one bit per flip-flop");
+  }
+
+  // Precompute every golden response of the session. The good machine is
+  // read-only, so responses depend only on (core, pattern) — memoised in
+  // golden_cache_ across sessions — and target cores shard cleanly across
+  // options_.sim_threads workers (each core's engine and cache are touched
+  // by exactly one worker; results are identical for any thread count).
+  std::vector<std::vector<const BitVector*>> expected_all(
+      session.targets.size());
+  {
+    std::map<CoreRef, std::vector<std::size_t>> targets_of_core;
+    for (std::size_t t = 0; t < session.targets.size(); ++t)
+      targets_of_core[session.targets[t].core].push_back(t);
+    std::vector<std::vector<std::size_t>> shards;
+    shards.reserve(targets_of_core.size());
+    for (auto& [core, ts] : targets_of_core) shards.push_back(ts);
+
+    const auto run_shard = [&](const std::vector<std::size_t>& ts) {
+      for (const std::size_t t : ts) {
+        const ScanTarget& target = session.targets[t];
+        expected_all[t].resize(target.patterns.size());
+        for (std::size_t r = 0; r < target.patterns.size(); ++r)
+          expected_all[t][r] =
+              &expected_response(target.core, target.patterns.at(r));
+      }
+    };
+
+    std::size_t workers = options_.sim_threads;
+    if (workers == 0) {
+      const unsigned hw = std::thread::hardware_concurrency();
+      workers = hw == 0 ? 1 : hw;
+    }
+    workers = std::min(workers, shards.size());
+    if (workers <= 1) {
+      for (const auto& shard : shards) run_shard(shard);
+    } else {
+      std::atomic<std::size_t> next{0};
+      std::vector<std::exception_ptr> errors(workers);
+      std::vector<std::thread> pool;
+      pool.reserve(workers);
+      for (std::size_t w = 0; w < workers; ++w) {
+        pool.emplace_back([&, w] {
+          try {
+            for (std::size_t i = next.fetch_add(1); i < shards.size();
+                 i = next.fetch_add(1))
+              run_shard(shards[i]);
+          } catch (...) {
+            errors[w] = std::current_exception();
+          }
+        });
+      }
+      for (std::thread& th : pool) th.join();
+      for (const std::exception_ptr& e : errors)
+        if (e) std::rethrow_exception(e);
+    }
   }
 
   result.targets.resize(session.targets.size());
@@ -383,9 +467,7 @@ ScanSessionResult SocTester::run_scan_session(const ScanSession& session) {
       for (std::size_t t = 0; t < session.targets.size(); ++t) {
         const ScanTarget& target = session.targets[t];
         if (round < target.patterns.size()) {
-          expected[t] =
-              golden_.at(target.core)->good_response(
-                  target.patterns.at(round));
+          expected[t] = *expected_all[t][round];
           ++result.targets[t].patterns_applied;
         } else {
           expected[t].reset();

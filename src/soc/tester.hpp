@@ -11,8 +11,10 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "soc/soc.hpp"
@@ -20,6 +22,18 @@
 #include "tpg/patterns.hpp"
 
 namespace casbus::soc {
+
+/// Simulation-engine knobs of a SocTester (docs/PERFORMANCE.md). Both are
+/// pure optimisations: every session result is byte-identical for any
+/// combination — event-driven evaluation is exact (packed_gatesim.hpp)
+/// and golden responses depend only on (core netlist, pattern).
+struct TesterOptions {
+  /// Evaluation strategy of the golden-model engines.
+  netlist::EvalMode sim_mode = netlist::EvalMode::EventDriven;
+  /// Worker threads for precomputing a scan session's golden responses
+  /// (sharded per target core; 1 = inline, 0 = one per hardware thread).
+  std::size_t sim_threads = 1;
+};
 
 /// Addresses a core: a top-level index, optionally a child inside a
 /// hierarchical core (one nesting level, as in paper Fig. 2d).
@@ -135,7 +149,11 @@ struct ExtestResult {
 /// Drives a Soc through complete test programs.
 class SocTester {
  public:
-  explicit SocTester(Soc& soc);
+  explicit SocTester(Soc& soc, TesterOptions options = {});
+
+  [[nodiscard]] const TesterOptions& options() const noexcept {
+    return options_;
+  }
 
   /// Full-chip reset (power-on state).
   void reset();
@@ -211,9 +229,22 @@ class SocTester {
   /// Pulses one shift cycle on the config chain with wire-0 data \p bit.
   void config_shift(tam::CasBusChain& chain, sim::Wire& data_in, bool bit);
 
+  /// Golden-model simulator of \p ref, created (and pinned) on first use.
+  [[nodiscard]] tpg::FaultSimulator& golden_for(const CoreRef& ref);
+
+  /// Good-machine response of \p ref to \p pattern, memoised across the
+  /// tester's lifetime — i.e. across every session of one job — because
+  /// the good machine is read-only.
+  [[nodiscard]] const BitVector& expected_response(const CoreRef& ref,
+                                                   const BitVector& pattern);
+
   Soc& soc_;
+  TesterOptions options_;
   /// Golden-model simulators per scan core, created lazily.
   std::map<CoreRef, std::unique_ptr<tpg::FaultSimulator>> golden_;
+  /// Cached golden responses per core, keyed by pattern bits.
+  std::map<CoreRef, std::unordered_map<std::string, BitVector>>
+      golden_cache_;
 };
 
 }  // namespace casbus::soc

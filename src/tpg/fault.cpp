@@ -13,7 +13,12 @@ std::vector<Fault> enumerate_faults(const Netlist& nl) {
 }
 
 FaultSimulator::FaultSimulator(Netlist nl)
-    : sim_(netlist::levelize(std::move(nl))), packed_(sim_.levelized()) {
+    : FaultSimulator(netlist::levelize(std::move(nl))) {}
+
+FaultSimulator::FaultSimulator(
+    std::shared_ptr<const netlist::LevelizedNetlist> lev,
+    netlist::EvalMode mode)
+    : sim_(lev), packed_(std::move(lev), mode) {
   for (std::size_t i = 0; i < sim_.design().inputs().size(); ++i)
     free_inputs_.push_back(i);
 }
@@ -38,15 +43,20 @@ std::size_t FaultSimulator::response_width() const noexcept {
   return nl().outputs().size() + dffs().size();
 }
 
-void FaultSimulator::apply_pattern(const BitVector& pattern) {
+void FaultSimulator::load_pattern(netlist::FaultSim& engine,
+                                  const BitVector& pattern) const {
   CASBUS_REQUIRE(pattern.size() == pattern_width(),
                  "FaultSimulator: pattern width mismatch");
   for (const auto& [idx, val] : pinned_)
-    packed_.set_input_index(idx, to_logic(val));
+    engine.set_input_index(idx, to_logic(val));
   for (std::size_t i = 0; i < free_inputs_.size(); ++i)
-    packed_.set_input_index(free_inputs_[i], to_logic(pattern.get(i)));
+    engine.set_input_index(free_inputs_[i], to_logic(pattern.get(i)));
   for (std::size_t i = 0; i < dffs().size(); ++i)
-    packed_.set_dff_state(i, to_logic(pattern.get(free_inputs_.size() + i)));
+    engine.set_dff_state(i, to_logic(pattern.get(free_inputs_.size() + i)));
+}
+
+void FaultSimulator::apply_pattern(const BitVector& pattern) {
+  load_pattern(packed_, pattern);
 }
 
 std::vector<int> FaultSimulator::simulate(const BitVector& pattern,
@@ -79,7 +89,12 @@ std::vector<int> FaultSimulator::simulate(const BitVector& pattern,
 }
 
 BitVector FaultSimulator::good_response(const BitVector& pattern) {
-  const std::vector<int> r = simulate(pattern, nullptr);
+  // Packed path: the engine's observation order (primary outputs, then
+  // DFF D pins) matches simulate()'s response layout bit for bit, and the
+  // event-driven mode makes runs of similar patterns cheap. The scalar
+  // path survives in run_serial() as the equivalence reference.
+  apply_pattern(pattern);
+  const std::vector<int>& r = packed_.good_response();
   BitVector out(r.size());
   for (std::size_t i = 0; i < r.size(); ++i) out.set(i, r[i] == 1);
   return out;
@@ -109,6 +124,33 @@ FaultSimReport FaultSimulator::run(const PatternSet& patterns,
         grade(patterns.at(p), faults, report.detected_mask);
     report.per_pattern[p] = newly;
     report.detected += newly;
+  }
+  return report;
+}
+
+FaultSimReport FaultSimulator::run(const PatternSet& patterns,
+                                   const std::vector<Fault>& faults,
+                                   std::size_t threads) {
+  netlist::FaultCampaignOptions opts;
+  opts.threads = threads;
+  opts.mode = packed_.mode();
+  const auto loader = [this, &patterns](netlist::FaultSim& engine,
+                                        std::size_t p) {
+    load_pattern(engine, patterns.at(p));
+  };
+  const netlist::FaultCampaignReport campaign = netlist::run_fault_campaign(
+      sim_.levelized(), faults, patterns.size(), loader, opts);
+
+  FaultSimReport report;
+  report.total_faults = faults.size();
+  report.detected = campaign.detected_count;
+  report.detected_mask.assign(faults.size(), false);
+  report.per_pattern.assign(patterns.size(), 0);
+  for (std::size_t f = 0; f < faults.size(); ++f) {
+    if (campaign.detected[f] == 0) continue;
+    report.detected_mask[f] = true;
+    ++report.per_pattern[static_cast<std::size_t>(
+        campaign.first_detect_pattern[f])];
   }
   return report;
 }

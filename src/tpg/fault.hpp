@@ -65,6 +65,24 @@ class FaultSimulator {
   /// design is levelized once and shared by the scalar and packed engines.
   explicit FaultSimulator(netlist::Netlist nl);
 
+  /// Shares an existing levelization (a campaign over one design needs a
+  /// single levelize no matter how many simulators it spins up).
+  explicit FaultSimulator(
+      std::shared_ptr<const netlist::LevelizedNetlist> lev,
+      netlist::EvalMode mode = netlist::EvalMode::FullSweep);
+
+  /// Evaluation strategy of the packed engine (netlist::EvalMode) — the
+  /// graded results are identical; EventDriven skips quiescent cones.
+  void set_mode(netlist::EvalMode mode) { packed_.set_mode(mode); }
+  [[nodiscard]] netlist::EvalMode mode() const noexcept {
+    return packed_.mode();
+  }
+
+  /// Gate-evaluation counters of the packed engine (activity factor).
+  [[nodiscard]] const netlist::SimStats& stats() const noexcept {
+    return packed_.stats();
+  }
+
   /// Holds input \p name at \p value for every simulation; that input is
   /// removed from the pattern image.
   void pin_input(const std::string& name, bool value);
@@ -94,6 +112,14 @@ class FaultSimulator {
   FaultSimReport run(const PatternSet& patterns,
                      const std::vector<Fault>& faults);
 
+  /// Threaded campaign: shards \p faults across \p threads workers via
+  /// netlist::run_fault_campaign (0 = one per hardware thread). The report
+  /// — detected_mask, per_pattern, totals — is byte-identical to run()
+  /// for every thread count, because fault detection is independent per
+  /// fault. Each worker inherits this simulator's EvalMode.
+  FaultSimReport run(const PatternSet& patterns,
+                     const std::vector<Fault>& faults, std::size_t threads);
+
   /// Reference implementation: one faulty machine at a time through the
   /// scalar GateSim. Same report as run(); ~100x slower. Kept for the
   /// equivalence tests and as the benchmark baseline.
@@ -101,7 +127,13 @@ class FaultSimulator {
                             const std::vector<Fault>& faults);
 
  private:
-  /// Loads \p pattern into the packed engine (pinned + free inputs, DFFs).
+  /// Loads \p pattern into any packed engine over the shared levelization
+  /// (pinned + free inputs, DFFs). Read-only on this simulator, so the
+  /// threaded run() may call it concurrently on per-worker engines.
+  void load_pattern(netlist::FaultSim& engine,
+                    const BitVector& pattern) const;
+
+  /// Loads \p pattern into the embedded packed engine.
   void apply_pattern(const BitVector& pattern);
 
   /// Applies pattern, evals, returns response values (may contain X as -1).

@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""Enforce the simulation-engine performance gates over BENCH_perf.json.
+
+Usage:
+    check_perf_gates.py BENCH_perf.json [--floors tools/bench_floors.json]
+
+Three families of checks (docs/PERFORMANCE.md records the model they
+guard):
+
+1. Absolute floors (--floors): each entry of the floors file names a
+   (benchmark, metric) pair and a 'min' (throughput counter) or 'max'
+   (ns/iteration) bound. Floors are set ~5x off the recorded numbers, so
+   tripping one means an algorithmic regression, not jitter.
+
+2. Event-driven speedup: for every gate count measured by both
+   BM_PackedGateSimSweepShift and BM_PackedGateSimEventShift, the
+   event-driven patterns/sec must be >= 3x the full-sweep value, and the
+   recorded activity factor must be < 0.5. This is the acceptance target
+   for the event-driven mode on its design workload (scan shift with
+   repeat fill).
+
+3. Thread scaling: BM_FaultSimThreaded/4 vs BM_FaultSimThreaded/1 real
+   time. Scaling depends on the host, so the gate keys off the
+   hw_threads counter the bench records: >= 2.5x required on hosts with
+   >= 8 hardware threads, >= 1.8x with 4-7 (hosted CI runners are
+   typically 4 hyperthreaded vCPUs), skipped below 4 where no real-time
+   speedup is physically possible. Correctness at any thread count is
+   covered separately by tests/test_parallel_faultsim.cpp.
+
+Exits non-zero with one line per violated gate.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+EVENT_SPEEDUP_MIN = 3.0
+EVENT_ACTIVITY_MAX = 0.5
+THREAD_SPEEDUP_MIN_8HW = 2.5
+THREAD_SPEEDUP_MIN_4HW = 1.8
+
+
+def load_values(path):
+    """Returns {(name, metric): value}; the last record of a pair wins."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    values = {}
+    for rec in doc["records"]:
+        if rec["value"] is not None:
+            values[(rec["name"], rec["metric"])] = rec["value"]
+    return values
+
+
+def check_floors(values, floors_path, problems):
+    spec = json.loads(pathlib.Path(floors_path).read_text())
+    for floor in spec["floors"]:
+        key = (floor["name"], floor["metric"])
+        value = values.get(key)
+        if value is None:
+            problems.append(f"floor target missing from artifact: {key}")
+            continue
+        if "min" in floor and value < floor["min"]:
+            problems.append(
+                f"{floor['name']} {floor['metric']} = {value:.0f} "
+                f"below floor {floor['min']:.0f}")
+        elif "max" in floor and value > floor["max"]:
+            problems.append(
+                f"{floor['name']} {floor['metric']} = {value:.0f} "
+                f"above ceiling {floor['max']:.0f}")
+        else:
+            bound = floor.get("min", floor.get("max"))
+            print(f"floor ok: {floor['name']} {floor['metric']} "
+                  f"= {value:.0f} (bound {bound:.0f})")
+
+
+def check_event_speedup(values, problems):
+    args = sorted({name.split("/", 1)[1]
+                   for (name, metric) in values
+                   if name.startswith("BM_PackedGateSimEventShift/")
+                   and metric == "counter_patterns_per_sec"})
+    if not args:
+        problems.append("no BM_PackedGateSimEventShift records in artifact")
+        return
+    for arg in args:
+        sweep = values.get((f"BM_PackedGateSimSweepShift/{arg}",
+                            "counter_patterns_per_sec"))
+        event = values.get((f"BM_PackedGateSimEventShift/{arg}",
+                            "counter_patterns_per_sec"))
+        activity = values.get((f"BM_PackedGateSimEventShift/{arg}",
+                               "counter_activity"))
+        if not sweep or not event:
+            problems.append(f"shift pair incomplete at {arg} gates")
+            continue
+        speedup = event / sweep
+        print(f"event-driven speedup at {arg} gates: {speedup:.2f}x "
+              f"(gate: >= {EVENT_SPEEDUP_MIN}x), activity {activity:.3f}")
+        if speedup < EVENT_SPEEDUP_MIN:
+            problems.append(
+                f"event-driven speedup at {arg} gates is {speedup:.2f}x "
+                f"(< {EVENT_SPEEDUP_MIN}x)")
+        if activity is None or activity >= EVENT_ACTIVITY_MAX:
+            problems.append(
+                f"event-driven activity at {arg} gates is {activity} "
+                f"(>= {EVENT_ACTIVITY_MAX}: the dirty-set tracking "
+                f"stopped skipping quiescent cones)")
+
+
+def check_thread_scaling(values, problems):
+    t1 = values.get(("BM_FaultSimThreaded/1", "real_time_ns_per_iter"))
+    t4 = values.get(("BM_FaultSimThreaded/4", "real_time_ns_per_iter"))
+    hw = values.get(("BM_FaultSimThreaded/4", "counter_hw_threads"))
+    if not t1 or not t4:
+        problems.append("BM_FaultSimThreaded 1/4-thread pair missing")
+        return
+    speedup = t1 / t4
+    if hw is None or hw < 4:
+        print(f"thread scaling: {speedup:.2f}x at 4 threads — gate skipped "
+              f"(host has {hw} hardware threads, need >= 4)")
+        return
+    required = THREAD_SPEEDUP_MIN_8HW if hw >= 8 else THREAD_SPEEDUP_MIN_4HW
+    print(f"thread scaling: {speedup:.2f}x at 4 threads "
+          f"(gate: >= {required}x on {hw:.0f} hardware threads)")
+    if speedup < required:
+        problems.append(
+            f"threaded fault campaign scaling is {speedup:.2f}x at 4 "
+            f"threads (< {required}x on {hw:.0f}-thread host)")
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("artifact", help="BENCH_perf.json path")
+    parser.add_argument("--floors", help="bench_floors.json path")
+    args = parser.parse_args()
+
+    values = load_values(args.artifact)
+    problems = []
+    if args.floors:
+        check_floors(values, args.floors, problems)
+    check_event_speedup(values, problems)
+    check_thread_scaling(values, problems)
+
+    for problem in problems:
+        print(f"GATE FAILED: {problem}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
