@@ -1,0 +1,177 @@
+/// \file bench_obs.cpp
+/// O1 — Cost of the telemetry layer: the observability contract is that
+/// instrumentation is effectively free — near-zero when disabled (a null
+/// pointer test per site) and within a few percent of the uninstrumented
+/// floor when fully on. This harness measures both halves:
+///
+///   - registry micro-costs: ns per add()/observe() against a live
+///     Registry, and ns per site when telemetry is disabled (the
+///     null-`Registry*` path every floor instrument site compiles to),
+///     plus the cold-path snapshot() cost,
+///   - floor overhead: an identical repeated-spec job mix run through
+///     FloorSession with telemetry fully off and fully on
+///     (metrics + tracing), reporting both throughputs and the relative
+///     overhead fraction that the CI gate caps at 5%
+///     (tools/check_perf_gates.py --obs, bound in tools/bench_floors.json).
+///
+/// Artifact: BENCH_obs.json (validated in CI by check_bench_json.py --obs).
+
+#include <algorithm>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "floor/job_factory.hpp"
+#include "floor/session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+using namespace casbus;
+using bench::JsonReporter;
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+/// ns per iteration of \p fn over \p iters repetitions.
+template <typename Fn>
+double ns_per_op(std::size_t iters, Fn&& fn) {
+  const auto start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < iters; ++i) fn(i);
+  return seconds_since(start) * 1e9 / static_cast<double>(iters);
+}
+
+/// Wall seconds for one full floor run over \p specs.
+double floor_run_seconds(const floor::FloorConfig& config,
+                         const std::vector<floor::JobSpec>& specs) {
+  const auto start = std::chrono::steady_clock::now();
+  floor::FloorSession session(config);
+  for (const floor::JobSpec& spec : specs) {
+    const bool accepted = session.submit(spec);
+    CASBUS_ASSERT(accepted, "bench_obs: session closed early");
+  }
+  const floor::FloorReport report = session.drain();
+  CASBUS_ASSERT(report.total.jobs == specs.size(),
+                "bench_obs: job count mismatch");
+  return seconds_since(start);
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("O1", "Telemetry layer overhead");
+  JsonReporter rep("obs");
+
+  // --- Head 1: registry micro-costs --------------------------------------
+  constexpr std::size_t kOps = 2'000'000;
+  Table micro({"operation", "ns/op"}, {Align::Left, Align::Right});
+
+  obs::Registry registry;
+  const obs::MetricId counter = registry.counter("bench.counter");
+  const obs::MetricId hist =
+      registry.histogram("bench.hist", obs::Registry::latency_buckets_us());
+
+  const double add_ns =
+      ns_per_op(kOps, [&](std::size_t) { registry.add(counter); });
+  const double observe_ns = ns_per_op(kOps, [&](std::size_t i) {
+    registry.observe(hist, static_cast<double>(i % 1000));
+  });
+
+  // The disabled path as the floor compiles it: every instrument site
+  // holds a Registry* that is null when telemetry is off. volatile keeps
+  // the compiler from folding the loop away.
+  obs::Registry* volatile disabled = nullptr;
+  const double disabled_ns = ns_per_op(kOps, [&](std::size_t) {
+    obs::Registry* r = disabled;
+    if (r != nullptr) r->add(counter);
+  });
+
+  obs::TraceRecorder recorder(kOps);
+  const double record_ns = ns_per_op(kOps / 4, [&](std::size_t i) {
+    obs::TraceSpan span;
+    span.name = "bench";
+    span.ts_us = i;
+    span.dur_us = 1;
+    (void)recorder.record(span);
+  });
+
+  const auto snap_start = std::chrono::steady_clock::now();
+  const obs::Snapshot snap = registry.snapshot();
+  const double snapshot_us = seconds_since(snap_start) * 1e6;
+  CASBUS_ASSERT(snap.counter("bench.counter") == kOps,
+                "bench_obs: counter lost updates");
+
+  micro.add_row({"Registry::add", format_double(add_ns, 2)});
+  micro.add_row({"Registry::observe", format_double(observe_ns, 2)});
+  micro.add_row({"disabled site (null check)",
+                 format_double(disabled_ns, 2)});
+  micro.add_row({"TraceRecorder::record", format_double(record_ns, 2)});
+  micro.add_row({"Registry::snapshot (us)", format_double(snapshot_us, 1)});
+  micro.print(std::cout);
+
+  rep.record("registry", {{"op", "add"}}, "ns_per_op", add_ns);
+  rep.record("registry", {{"op", "observe"}}, "ns_per_op", observe_ns);
+  rep.record("registry", {{"op", "disabled"}}, "ns_per_op", disabled_ns);
+  rep.record("registry", {{"op", "record"}}, "ns_per_op", record_ns);
+  rep.record("registry", {{"op", "snapshot"}}, "us", snapshot_us);
+
+  // --- Head 2: whole-floor overhead --------------------------------------
+  // A repeated-spec mix (4 distinct recipes over 24 jobs) on 2 workers:
+  // heavy enough that the jobs dominate, cache-diverse enough that all
+  // instrument sites fire (lookups, both tiers, stage timers, spans).
+  const floor::JobFactory factory(97);
+  std::vector<floor::JobSpec> specs;
+  constexpr std::size_t kJobs = 24;
+  for (std::size_t i = 0; i < kJobs; ++i) {
+    floor::JobSpec spec = factory.make_job(i % 4);
+    spec.id = i;
+    specs.push_back(spec);
+  }
+
+  floor::FloorConfig off;
+  off.workers = 2;
+  floor::FloorConfig on = off;
+  on.metrics = true;
+  on.trace_capacity = kJobs * (floor::kStageCount + 1);
+
+  // Warm-up run (first-touch allocations, code paging), then measure the
+  // best of 3 for each configuration — min is the right statistic for an
+  // overhead bound because it strips scheduler noise, not telemetry cost.
+  (void)floor_run_seconds(off, specs);
+  double off_s = 1e100, on_s = 1e100;
+  for (int rep_i = 0; rep_i < 3; ++rep_i) {
+    off_s = std::min(off_s, floor_run_seconds(off, specs));
+    on_s = std::min(on_s, floor_run_seconds(on, specs));
+  }
+  const double overhead = off_s > 0.0 ? (on_s - off_s) / off_s : 0.0;
+
+  std::cout << "\nfloor overhead (" << kJobs << " jobs, 2 workers):\n"
+            << "  telemetry off: " << format_double(off_s, 4) << " s ("
+            << format_double(kJobs / off_s, 1) << " jobs/s)\n"
+            << "  telemetry on:  " << format_double(on_s, 4) << " s ("
+            << format_double(kJobs / on_s, 1) << " jobs/s)\n"
+            << "  overhead: " << format_double(overhead * 100.0, 2)
+            << "% (CI gate: <= 5%)\n";
+
+  const JsonReporter::Params params = {
+      {"jobs", std::to_string(kJobs)}, {"workers", "2"}};
+  rep.record("floor_overhead", params, "off_seconds", off_s);
+  rep.record("floor_overhead", params, "on_seconds", on_s);
+  rep.record("floor_overhead", params, "jobs_per_sec_off", kJobs / off_s);
+  rep.record("floor_overhead", params, "jobs_per_sec_on", kJobs / on_s);
+  rep.record("floor_overhead", params, "overhead_frac", overhead);
+
+  std::cout << "\nwrote " << rep.path() << " (" << rep.size()
+            << " records)\n";
+  return 0;
+}

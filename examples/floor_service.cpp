@@ -8,6 +8,8 @@
 ///                 [--strategy single|per_core|greedy|phased|exact|branch_bound]
 ///                 [--patterns-per-ff K] [--queue-capacity Q] [--cache C]
 ///                 [--stream] [--summary]
+///                 [--stats-json FILE] [--trace FILE]
+///                 [--stats-interval-ms N]
 ///
 /// --workers 0 (the default) uses one worker per hardware thread.
 /// --strategy forces one scheduling strategy onto every job (the factory
@@ -18,11 +20,28 @@
 /// capacity (0 disables). --summary additionally prints the deterministic
 /// aggregate summary — the text that is guaranteed byte-identical for any
 /// worker count, batch or streaming, cache on or off, at a fixed seed.
+///
+/// Telemetry (docs/OBSERVABILITY.md):
+///   --stats-json FILE       write the final FloorStats snapshot as
+///                           one-line JSON (tools/floorstat.py reads it)
+///   --trace FILE            record per-job pipeline spans and write a
+///                           Chrome trace-event file (load in Perfetto)
+///   --stats-interval-ms N   additionally print a live snapshot line to
+///                           stderr every N ms while the floor runs
+/// Any of the three implies the live-session path (as if --stream).
+/// Telemetry observes only: the deterministic summary is byte-identical
+/// with these flags on or off.
 
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <fstream>
 #include <iostream>
+#include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 
 #include "floor/job_factory.hpp"
 #include "floor/session.hpp"
@@ -36,36 +55,114 @@ constexpr const char* kOptionsHelp =
     " [--scenario-mix scan:4,bist:2,hier:1,maint:1]"
     " [--strategy single|per_core|greedy|phased|exact|branch_bound]"
     " [--patterns-per-ff K] [--queue-capacity Q] [--cache C]"
-    " [--sim-threads T] [--sweep-sim] [--stream] [--summary]";
+    " [--sim-threads T] [--sweep-sim] [--stream] [--summary]"
+    " [--stats-json FILE] [--trace FILE] [--stats-interval-ms N]";
+
+/// Periodic stats tail: a helper thread that prints
+/// session.stats_snapshot().to_json() to stderr every interval until
+/// stopped. Interruptible sleep so shutdown is immediate.
+class StatsTailer {
+ public:
+  StatsTailer(const casbus::floor::FloorSession& session,
+              std::size_t interval_ms)
+      : session_(session), interval_ms_(interval_ms) {
+    if (interval_ms_ > 0)
+      thread_ = std::thread([this] { run(); });
+  }
+
+  ~StatsTailer() {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    cv_.notify_all();
+    if (thread_.joinable()) thread_.join();
+  }
+
+ private:
+  void run() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (!stop_) {
+      cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_),
+                   [this] { return stop_; });
+      if (stop_) break;
+      lock.unlock();
+      std::cerr << session_.stats_snapshot().to_json() << "\n";
+      lock.lock();
+    }
+  }
+
+  const casbus::floor::FloorSession& session_;
+  std::size_t interval_ms_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+struct TelemetryOptions {
+  std::string stats_json;       ///< final snapshot file; empty = off
+  std::string trace_file;       ///< Chrome trace file; empty = off
+  std::size_t interval_ms = 0;  ///< live stderr tail period; 0 = off
+
+  [[nodiscard]] bool any() const {
+    return !stats_json.empty() || !trace_file.empty() || interval_ms > 0;
+  }
+};
 
 /// Streaming mode: submit jobs one by one into the live session (the
 /// bounded queue throttles the producer) and print each result as the
 /// slot-ordered delivery hands it out.
 casbus::floor::FloorReport run_streaming(
     casbus::floor::FloorConfig config,
-    const std::vector<casbus::floor::JobSpec>& specs) {
+    const std::vector<casbus::floor::JobSpec>& specs,
+    const TelemetryOptions& telemetry, bool print_jobs) {
   using namespace casbus::floor;
   const auto print_result = [](const JobResult& r) {
     std::cout << "  job " << r.id << " [" << scenario_name(r.scenario)
               << "] "
               << (!r.error.empty() ? "ERROR" : (r.pass ? "pass" : "FAIL"))
-              << (r.cache_hit ? " (cached)" : "") << "\n";
+              << (r.cache_hit() ? " (cached)" : "") << "\n";
   };
 
   FloorSession session(config);
+  StatsTailer tailer(session, telemetry.interval_ms);
   std::size_t printed = 0;
   for (const JobSpec& spec : specs) {
     const bool accepted = session.submit(spec);
     CASBUS_ASSERT(accepted, "session closed while submitting");
+    if (!print_jobs) continue;
     for (const JobResult& r : session.poll_results()) {
       print_result(r);
       ++printed;
     }
   }
   FloorReport report = session.drain();
-  for (std::size_t i = printed; i < report.results.size(); ++i)
-    print_result(report.results[i]);
-  std::cout << "\n";
+  if (print_jobs) {
+    for (std::size_t i = printed; i < report.results.size(); ++i)
+      print_result(report.results[i]);
+    std::cout << "\n";
+  }
+
+  if (!telemetry.stats_json.empty()) {
+    std::ofstream out(telemetry.stats_json);
+    if (out) {
+      out << session.stats_snapshot().to_json() << "\n";
+      std::cout << "stats snapshot written to " << telemetry.stats_json
+                << "\n";
+    } else {
+      std::cerr << "cannot write stats to " << telemetry.stats_json
+                << "\n";
+    }
+  }
+  if (!telemetry.trace_file.empty()) {
+    if (session.write_trace(telemetry.trace_file))
+      std::cout << "pipeline trace written to " << telemetry.trace_file
+                << " (load at https://ui.perfetto.dev)\n";
+    else
+      std::cerr << "cannot write trace to " << telemetry.trace_file
+                << "\n";
+  }
   return report;
 }
 
@@ -82,6 +179,7 @@ int main(int argc, char** argv) {
   std::optional<casbus::sched::Strategy> strategy;
   bool stream = false;
   bool summary = false;
+  TelemetryOptions telemetry;
 
   casbus::cli::FlagParser cli(argc, argv, kOptionsHelp);
   try {
@@ -104,11 +202,29 @@ int main(int argc, char** argv) {
       else if (cli.is("--sweep-sim")) config.event_sim = !cli.boolean();
       else if (cli.is("--stream")) stream = cli.boolean();
       else if (cli.is("--summary")) summary = cli.boolean();
+      else if (cli.is("--stats-json")) telemetry.stats_json = cli.value();
+      else if (cli.is("--trace")) telemetry.trace_file = cli.value();
+      else if (cli.is("--stats-interval-ms"))
+        telemetry.interval_ms = std::stoul(cli.value());
       else cli.fail();
     }
   } catch (const std::exception& e) {
     std::cerr << "bad arguments: " << e.what() << "\n";
     cli.fail();
+  }
+
+  if (telemetry.any()) {
+    // The stats/trace surfaces live on FloorSession, so telemetry runs
+    // the live-session path even without --stream (job-by-job printing
+    // stays opt-in via --stream).
+    config.metrics = !telemetry.stats_json.empty() ||
+                     telemetry.interval_ms > 0;
+    if (!telemetry.trace_file.empty()) {
+      // One job-level span plus at most one span per pipeline stage per
+      // job; cached jobs record fewer. Sized exactly so a full run never
+      // drops (the acceptance bar for --trace).
+      config.trace_capacity = jobs * (kStageCount + 1);
+    }
   }
 
   const JobFactory factory(seed, mix);
@@ -121,14 +237,15 @@ int main(int argc, char** argv) {
   std::cout << "test floor: " << jobs << " jobs, "
             << effective_workers(config.workers)
             << " worker(s), seed " << seed
-            << (stream ? ", streaming" : ", batch");
+            << (stream || telemetry.any() ? ", streaming" : ", batch");
   if (config.queue_capacity)
     std::cout << ", queue capacity " << config.queue_capacity;
   std::cout << "\n\n";
 
-  const FloorReport report = stream
-                                 ? run_streaming(config, specs)
-                                 : TestFloor(config).run(specs);
+  const FloorReport report =
+      stream || telemetry.any()
+          ? run_streaming(config, specs, telemetry, stream)
+          : TestFloor(config).run(specs);
   report.print(std::cout);
   if (summary) {
     std::cout << "\ndeterministic summary (worker-count invariant):\n"

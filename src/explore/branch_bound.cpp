@@ -139,6 +139,7 @@ class Search {
     if (total < best_total_) {
       best_total_ = total;
       best_groups_ = std::move(groups);
+      ++improvements_;
     }
   }
 
@@ -153,6 +154,8 @@ class Search {
   std::vector<Node> arena_;
   std::uint64_t best_total_ = UINT64_MAX;
   std::vector<std::vector<std::size_t>> best_groups_;
+  std::uint64_t prunes_ = 0;
+  std::uint64_t improvements_ = 0;
 };
 
 BranchBoundResult Search::run() {
@@ -247,7 +250,10 @@ BranchBoundResult Search::run() {
           structural - (fresh ? 0 : bound_of[g]) + joined_bound;
       const std::size_t child_groups = groups_used + (fresh ? 1 : 0);
       const std::uint64_t child_f = bound(child_structural, child_groups);
-      if (child_f >= best_total_) continue;  // pruned
+      if (child_f >= best_total_) {
+        ++prunes_;
+        continue;
+      }
 
       arena_.push_back(Node{id, static_cast<std::uint16_t>(depth + 1),
                             static_cast<std::uint16_t>(g),
@@ -258,6 +264,8 @@ BranchBoundResult Search::run() {
   }
 
   result.optimal = !budget_hit;
+  result.prunes = prunes_;
+  result.incumbent_improvements = improvements_;
   result.best_cost = best_total_;
   result.lower_bound =
       result.optimal ? best_total_ : std::min(best_total_, frontier_bound);

@@ -48,6 +48,11 @@ struct BranchBoundResult {
   std::uint64_t nodes_expanded = 0;
   std::uint64_t leaves_priced = 0;
   std::uint64_t dives = 0;
+  /// Children discarded because their bound met the incumbent — the
+  /// search-effort the balance bound saved (telemetry; see ScheduleStats).
+  std::uint64_t prunes = 0;
+  /// Times a priced partition replaced the incumbent (seeding included).
+  std::uint64_t incumbent_improvements = 0;
   bool optimal = false;  ///< search space exhausted within the budget
 
   /// Proven optimality gap: incumbent / lower_bound − 1 (0 when optimal).

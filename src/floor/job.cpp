@@ -6,6 +6,9 @@
 #include <string>
 
 #include "floor/program_cache.hpp"
+#include "floor/telemetry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/time_model.hpp"
 #include "soc/schedule_runner.hpp"
 #include "soc/soc.hpp"
@@ -21,23 +24,57 @@ namespace casbus::floor {
 namespace {
 
 /// Charges wall time to the pipeline stages: each finish(stage) call
-/// attributes the time since the previous boundary to that stage.
+/// attributes the time since the previous boundary to that stage — and,
+/// when the job carries telemetry sinks, feeds the stage's latency
+/// histogram and emits its trace span. Both sinks are write-only and
+/// null-guarded, so the telemetry-off cost is one pointer test per stage.
 class StageTimer {
  public:
-  explicit StageTimer(JobResult& result)
-      : result_(result), last_(std::chrono::steady_clock::now()) {}
+  StageTimer(JobResult& result, const JobTelemetry& obs)
+      : result_(result), obs_(obs),
+        last_(std::chrono::steady_clock::now()) {}
 
   void finish(Stage stage) {
     const auto now = std::chrono::steady_clock::now();
-    result_.stage_seconds[static_cast<std::size_t>(stage)] +=
+    const double seconds =
         std::chrono::duration<double>(now - last_).count();
+    result_.stage_seconds[static_cast<std::size_t>(stage)] += seconds;
     last_ = now;
+
+    const double us = seconds * 1e6;
+    if (obs_.registry != nullptr && obs_.ids != nullptr)
+      obs_.registry->observe(
+          obs_.ids->stage_us[static_cast<std::size_t>(stage)], us);
+    if (obs_.trace != nullptr) {
+      obs::TraceSpan span;
+      span.name = stage_name(stage);
+      span.scenario = scenario_name(result_.scenario);
+      span.tid = obs_.worker;
+      span.slot = obs_.slot;
+      span.dur_us = static_cast<std::uint64_t>(us);
+      const std::uint64_t end = obs_.trace->now_us();
+      span.ts_us = end > span.dur_us ? end - span.dur_us : 0;
+      obs_.trace->record(span);
+    }
   }
 
  private:
   JobResult& result_;
+  const JobTelemetry& obs_;
   std::chrono::steady_clock::time_point last_;
 };
+
+/// Copies a tester's engine counters into the result (see
+/// JobEngineCounters). Called after the Simulate stage of every scenario.
+void harvest_tester(const soc::SocTester& tester, JobResult& result) {
+  result.engine.sim_memo_lookups = tester.memo_lookups();
+  result.engine.sim_memo_hits = tester.memo_hits();
+  result.engine.precompute_seconds = tester.precompute_seconds();
+  const netlist::SimStats stats = tester.sim_stats();
+  result.engine.sim_eval_passes = stats.eval_passes;
+  result.engine.sim_cell_evals = stats.cell_evals;
+  result.engine.sim_sweep_cell_evals = stats.sweep_cell_evals;
+}
 
 /// Maps the floor-level engine knobs onto soc::TesterOptions.
 soc::TesterOptions tester_options(const JobSimOptions& sim) {
@@ -114,8 +151,9 @@ tpg::SyntheticCoreSpec job_core_spec(Rng& rng, std::size_t chains) {
 /// the worker's cache — then execute cycle-accurately.
 void run_scheduled(const JobSpec& spec, bool with_engines, Rng& rng,
                    ProgramCache* cache, bool verify,
-                   const JobSimOptions& sim, JobResult& result) {
-  StageTimer timer(result);
+                   const JobSimOptions& sim, const JobTelemetry& obs,
+                   JobResult& result) {
+  StageTimer timer(result, obs);
 
   // ---- Stage: Build -------------------------------------------------------
   soc::SocBuilder builder(spec.bus_width);
@@ -159,7 +197,7 @@ void run_scheduled(const JobSpec& spec, bool with_engines, Rng& rng,
   std::shared_ptr<const soc::CompiledProgram> program =
       cache ? cache->find_program(spec) : nullptr;
   if (program) {
-    result.cache_hit = true;
+    result.cache_tier = CacheTier::Program;
     // The cache verified recipe equality, and equal recipes reproduce the
     // pattern seed — so a served program is exactly the cold compile.
     CASBUS_ASSERT(program->pattern_seed == pattern_seed,
@@ -167,8 +205,12 @@ void run_scheduled(const JobSpec& spec, bool with_engines, Rng& rng,
   } else {
     auto fresh = std::make_shared<soc::CompiledProgram>();
     fresh->specs = soc::specs_of(*soc, spec.patterns_per_ff);
+    sched::ScheduleStats sched_stats;
     fresh->schedule = sched::schedule_with(
-        fresh->specs, soc->bus().width(), spec.strategy);
+        fresh->specs, soc->bus().width(), spec.strategy, &sched_stats);
+    result.engine.sched_nodes_expanded = sched_stats.nodes_expanded;
+    result.engine.sched_prunes = sched_stats.prunes;
+    result.engine.sched_improvements = sched_stats.incumbent_improvements;
     timer.finish(Stage::Schedule);
     fresh->pattern_seed = pattern_seed;
     if (cache) cache->put_program(spec, fresh);
@@ -188,6 +230,7 @@ void run_scheduled(const JobSpec& spec, bool with_engines, Rng& rng,
   soc::SocTester tester(*soc, tester_options(sim));
   const soc::ScheduleRunReport report =
       soc::run_program(*soc, tester, *program);
+  harvest_tester(tester, result);
   timer.finish(Stage::Simulate);
 
   // ---- Stage: Verdict -----------------------------------------------------
@@ -207,8 +250,9 @@ void run_scheduled(const JobSpec& spec, bool with_engines, Rng& rng,
 /// (charged to the Compile stage) and predicted directly with the time
 /// model.
 void run_hierarchical(const JobSpec& spec, Rng& rng, bool verify,
-                      const JobSimOptions& sim, JobResult& result) {
-  StageTimer timer(result);
+                      const JobSimOptions& sim, const JobTelemetry& obs,
+                      JobResult& result) {
+  StageTimer timer(result, obs);
 
   // ---- Stage: Build -------------------------------------------------------
   const std::size_t children = 2 + rng.below(2);  // 2..3
@@ -263,6 +307,7 @@ void run_hierarchical(const JobSpec& spec, Rng& rng, bool verify,
 
   // ---- Stage: Simulate ----------------------------------------------------
   const soc::ScanSessionResult r = tester.run_scan_session(session);
+  harvest_tester(tester, result);
   timer.finish(Stage::Simulate);
 
   // ---- Stage: Verdict -----------------------------------------------------
@@ -282,8 +327,9 @@ void run_hierarchical(const JobSpec& spec, Rng& rng, bool verify,
 /// verdict, clean scan responses, and zero traffic read-back errors. The
 /// interleaved mission/test windows are all charged to Simulate.
 void run_maintenance(const JobSpec& spec, Rng& rng, bool verify,
-                     const JobSimOptions& sim, JobResult& result) {
-  StageTimer timer(result);
+                     const JobSimOptions& sim, const JobTelemetry& obs,
+                     JobResult& result) {
+  StageTimer timer(result, obs);
 
   // ---- Stage: Build -------------------------------------------------------
   soc::SocBuilder builder(spec.bus_width);
@@ -325,6 +371,7 @@ void run_maintenance(const JobSpec& spec, Rng& rng, bool verify,
   const soc::BistRunResult mbist =
       tester.run_bist(0, spec.bus_width - 1, ram.mbist_cycles());
   tester.step(32);  // back to mission mode
+  harvest_tester(tester, result);
   timer.finish(Stage::Simulate);
 
   // ---- Stage: Verdict -----------------------------------------------------
@@ -360,6 +407,15 @@ ScenarioKind scenario_from_name(std::string_view name) {
   return ScenarioKind::ScanOnly;  // unreachable
 }
 
+const char* cache_tier_name(CacheTier tier) noexcept {
+  switch (tier) {
+    case CacheTier::None: return "none";
+    case CacheTier::Program: return "program";
+    case CacheTier::Verdict: return "verdict";
+  }
+  return "unknown";
+}
+
 const char* stage_name(Stage stage) noexcept {
   switch (stage) {
     case Stage::Build: return "build";
@@ -390,14 +446,61 @@ bool JobSpec::same_recipe(const JobSpec& other) const noexcept {
          patterns_per_ff == other.patterns_per_ff;
 }
 
-JobResult run_job(const JobSpec& spec, ProgramCache* cache,
-                  bool verify, JobSimOptions sim) noexcept {
+namespace {
+
+/// Terminal telemetry of one run_job call: the engine-counter metrics and
+/// the job-level span (category "job", tagged with the serving cache
+/// tier). Stage spans/histograms were already emitted by the StageTimer —
+/// or not at all, for a verdict-tier serve, which is exactly the "one
+/// span per stage per *executed* job" contract.
+void emit_job_telemetry(const JobTelemetry& obs, const JobResult& result,
+                        std::uint64_t job_start_us) {
+  if (obs.registry != nullptr && obs.ids != nullptr) {
+    obs::Registry& reg = *obs.registry;
+    const FloorMetricIds& ids = *obs.ids;
+    reg.add(ids.jobs_executed);
+    if (!result.error.empty()) reg.add(ids.jobs_errored);
+    const JobEngineCounters& e = result.engine;
+    reg.add(ids.sim_memo_lookups, e.sim_memo_lookups);
+    reg.add(ids.sim_memo_hits, e.sim_memo_hits);
+    reg.add(ids.sim_precompute_us,
+            static_cast<std::uint64_t>(e.precompute_seconds * 1e6));
+    reg.add(ids.sim_eval_passes, e.sim_eval_passes);
+    reg.add(ids.sim_cell_evals, e.sim_cell_evals);
+    reg.add(ids.sim_sweep_cell_evals, e.sim_sweep_cell_evals);
+    reg.add(ids.sched_nodes, e.sched_nodes_expanded);
+    reg.add(ids.sched_prunes, e.sched_prunes);
+    reg.add(ids.sched_improvements, e.sched_improvements);
+  }
+  if (obs.trace != nullptr) {
+    obs::TraceSpan span;
+    span.name = scenario_name(result.scenario);
+    span.category = "job";
+    span.scenario = scenario_name(result.scenario);
+    span.cache_tier = cache_tier_name(result.cache_tier);
+    span.tid = obs.worker;
+    span.slot = obs.slot;
+    span.ts_us = job_start_us;
+    const std::uint64_t end = obs.trace->now_us();
+    span.dur_us = end > job_start_us ? end - job_start_us : 0;
+    obs.trace->record(span);
+  }
+}
+
+}  // namespace
+
+JobResult run_job(const JobSpec& spec, ProgramCache* cache, bool verify,
+                  JobSimOptions sim, const JobTelemetry& obs) noexcept {
+  const std::uint64_t job_start_us =
+      obs.trace != nullptr ? obs.trace->now_us() : 0;
+
   // Verdict tier: a recipe this worker already ran cleanly skips the
   // whole pipeline — run_job is pure, so the qualified result *is* what a
   // re-run would compute (only id and timing are job-specific).
   if (cache) {
     if (std::optional<JobResult> memo = cache->reuse(spec)) {
       memo->id = spec.id;
+      emit_job_telemetry(obs, *memo, job_start_us);
       return *memo;
     }
   }
@@ -412,17 +515,17 @@ JobResult run_job(const JobSpec& spec, ProgramCache* cache,
     switch (spec.scenario) {
       case ScenarioKind::ScanOnly:
         run_scheduled(spec, /*with_engines=*/false, rng, cache, verify,
-                      sim, result);
+                      sim, obs, result);
         break;
       case ScenarioKind::BistJoin:
         run_scheduled(spec, /*with_engines=*/true, rng, cache, verify,
-                      sim, result);
+                      sim, obs, result);
         break;
       case ScenarioKind::Hierarchical:
-        run_hierarchical(spec, rng, verify, sim, result);
+        run_hierarchical(spec, rng, verify, sim, obs, result);
         break;
       case ScenarioKind::Maintenance:
-        run_maintenance(spec, rng, verify, sim, result);
+        run_maintenance(spec, rng, verify, sim, obs, result);
         break;
     }
     // Clean runs qualify the recipe for verdict reuse; errors never do
@@ -435,6 +538,7 @@ JobResult run_job(const JobSpec& spec, ProgramCache* cache,
     result.pass = false;
     result.error = "unknown error";
   }
+  emit_job_telemetry(obs, result, job_start_us);
   return result;
 }
 

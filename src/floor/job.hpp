@@ -27,7 +27,14 @@
 
 #include "sched/scheduler.hpp"
 
+namespace casbus::obs {
+class Registry;
+class TraceRecorder;
+}  // namespace casbus::obs
+
 namespace casbus::floor {
+
+struct FloorMetricIds;
 
 /// The test-program shapes a floor job can exercise — one per access type
 /// the CAS-BUS serves (paper Fig. 2 plus the §4 maintenance scenario).
@@ -97,9 +104,40 @@ struct JobSpec {
   [[nodiscard]] bool same_recipe(const JobSpec& other) const noexcept;
 };
 
-/// Outcome of one job. Every field except wall_seconds is a deterministic
-/// function of the JobSpec (FloorReport::deterministic_summary() relies on
-/// that); wall_seconds is filled in by the executing worker.
+/// Which cache tier served a job, if any (see program_cache.hpp). Not
+/// deterministic: it depends on job interleaving and worker count, so it
+/// is excluded from digests like all timing.
+enum class CacheTier : std::uint8_t {
+  None,     ///< executed cold (or cache disabled)
+  Program,  ///< Schedule+Compile skipped (compiled program reused)
+  Verdict,  ///< whole pipeline skipped (qualified result reused)
+};
+
+/// Stable short name ("none", "program", "verdict") — the vocabulary of
+/// report breakdowns, trace args, and metric names.
+[[nodiscard]] const char* cache_tier_name(CacheTier tier) noexcept;
+
+/// Work counters harvested from the engines a job ran — scheduler search
+/// effort, golden-model memoisation, packed-simulation evaluation. All
+/// observability payload: they never feed back into any computation, are
+/// excluded from digests (a verdict-tier hit legitimately reports zeros),
+/// and cost nothing to carry when telemetry is off.
+struct JobEngineCounters {
+  std::uint64_t sim_memo_lookups = 0;   ///< tester golden-response probes
+  std::uint64_t sim_memo_hits = 0;      ///< ... served from the memo
+  double precompute_seconds = 0.0;      ///< golden-response precompute time
+  std::uint64_t sim_eval_passes = 0;    ///< netlist::SimStats::eval_passes
+  std::uint64_t sim_cell_evals = 0;     ///< netlist::SimStats::cell_evals
+  std::uint64_t sim_sweep_cell_evals = 0;  ///< full-sweep-equivalent work
+  std::uint64_t sched_nodes_expanded = 0;  ///< B&B expansions (0 otherwise)
+  std::uint64_t sched_prunes = 0;          ///< B&B children cut by bound
+  std::uint64_t sched_improvements = 0;    ///< B&B incumbent adoptions
+};
+
+/// Outcome of one job. Every field except wall_seconds, stage_seconds,
+/// cache_tier, and engine is a deterministic function of the JobSpec
+/// (FloorReport::deterministic_summary() relies on that); those four are
+/// execution records filled in by the executing worker.
 struct JobResult {
   std::size_t id = 0;
   ScenarioKind scenario = ScenarioKind::ScanOnly;
@@ -115,11 +153,18 @@ struct JobResult {
   /// Per-stage wall time, indexed by Stage. NOT deterministic (timing),
   /// excluded from digests like wall_seconds.
   std::array<double, kStageCount> stage_seconds{};
-  /// True when the Schedule+Compile stages were skipped because the
-  /// executing worker's program cache already held this spec's compiled
-  /// program. NOT deterministic (depends on job interleaving and worker
-  /// count), excluded from digests.
-  bool cache_hit = false;
+  /// The cache tier that served this job (None = executed cold). NOT
+  /// deterministic (depends on job interleaving and worker count),
+  /// excluded from digests.
+  CacheTier cache_tier = CacheTier::None;
+  /// Engine work counters (see JobEngineCounters). NOT deterministic in
+  /// aggregate — a cache-served job reports zeros — excluded from digests.
+  JobEngineCounters engine;
+
+  /// True when any cache tier served this job.
+  [[nodiscard]] bool cache_hit() const noexcept {
+    return cache_tier != CacheTier::None;
+  }
 
   /// |measured − predicted| / predicted (0 when nothing was predicted).
   [[nodiscard]] double deviation() const {
@@ -149,6 +194,21 @@ struct JobSimOptions {
   std::size_t sim_threads = 1;
 };
 
+/// Observability hooks handed to run_job by the floor (all optional —
+/// value-default means "telemetry off", and every instrument site guards
+/// on the null pointers, so the disabled cost is a pointer test).
+/// Everything here is strictly *write-only* from the job's perspective:
+/// counters and spans flow out, nothing flows back in, which is how the
+/// telemetry-on == telemetry-off determinism guarantee holds by
+/// construction.
+struct JobTelemetry {
+  obs::Registry* registry = nullptr;      ///< floor metric sink
+  const FloorMetricIds* ids = nullptr;    ///< ids registered in *registry
+  obs::TraceRecorder* trace = nullptr;    ///< per-stage span sink
+  std::uint32_t worker = 0;               ///< executing worker (trace row)
+  std::uint64_t slot = 0;                 ///< arrival slot (trace args)
+};
+
 /// Executes \p spec end to end through the staged pipeline (Build ->
 /// Schedule -> Compile -> Verify -> Simulate -> Verdict) and reports, with
 /// per-stage wall time in JobResult::stage_seconds. Never throws: scenario
@@ -171,9 +231,13 @@ struct JobSimOptions {
 /// what a cold run would recompute, so cache-on and cache-off runs produce
 /// equal deterministic_summary() text. The cache must be private to the
 /// calling thread (the floor gives each worker its own).
+///
+/// \p obs carries the floor's telemetry sinks (JobTelemetry); the default
+/// runs with telemetry off. Spans and counters are emitted per executed
+/// stage — a verdict-tier hit emits none (no stage ran).
 [[nodiscard]] JobResult run_job(const JobSpec& spec, ProgramCache* cache,
-                                bool verify = true,
-                                JobSimOptions sim = {}) noexcept;
+                                bool verify = true, JobSimOptions sim = {},
+                                const JobTelemetry& obs = {}) noexcept;
 
 /// Cache-less convenience overload.
 [[nodiscard]] JobResult run_job(const JobSpec& spec) noexcept;

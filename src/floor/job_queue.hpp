@@ -32,6 +32,7 @@
 
 #pragma once
 
+#include <algorithm>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -51,6 +52,27 @@ struct SlottedJob {
   JobSpec spec;
 };
 
+/// Consistent snapshot of the queue's observability counters, taken under
+/// the queue mutex (JobQueue::stats()) — the race-free way to observe
+/// depth the registry and FloorStats rely on. Counters are monotonic
+/// except depth.
+struct QueueStats {
+  std::size_t depth = 0;        ///< jobs waiting right now
+  std::size_t high_water = 0;   ///< max depth ever reached
+  std::size_t pushed = 0;       ///< jobs accepted so far
+  std::size_t popped = 0;       ///< jobs handed to workers so far
+  std::size_t steals = 0;       ///< pops served from a foreign shard
+  /// Producers that found the queue at capacity and had to block (one
+  /// count per blocking push(), however long it waited).
+  std::size_t backpressure_engages = 0;
+  /// Blocked producers that were subsequently released by space (not by
+  /// close()); engages - releases is the number currently blocked plus
+  /// those that exited via close().
+  std::size_t backpressure_releases = 0;
+  /// Steals charged to the shard they were stolen *from*.
+  std::vector<std::size_t> steals_per_shard;
+};
+
 class JobQueue {
  public:
   /// \p shards is the number of per-worker deques (clamped >= 1; pass the
@@ -59,7 +81,8 @@ class JobQueue {
   explicit JobQueue(std::size_t shards = 1, std::size_t capacity = 0)
       : shards_(shards == 0 ? 1 : shards),
         capacity_(capacity),
-        queues_(shards_) {}
+        queues_(shards_),
+        steals_per_shard_(shards_, 0) {}
 
   /// Enqueues one job, assigning it the next arrival slot; blocks while
   /// the queue is at capacity. Returns false (dropping the job) when the
@@ -68,8 +91,11 @@ class JobQueue {
   [[nodiscard]] bool push(JobSpec job) {
     {
       std::unique_lock<std::mutex> lock(mu_);
+      const bool blocked = !closed_ && !has_space();
+      if (blocked) ++bp_engages_;
       space_cv_.wait(lock, [this] { return closed_ || has_space(); });
       if (closed_) return false;
+      if (blocked) ++bp_releases_;
       enqueue(std::move(job));
     }
     jobs_cv_.notify_one();
@@ -135,6 +161,23 @@ class JobQueue {
   [[nodiscard]] std::size_t shards() const noexcept { return shards_; }
   [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
 
+  /// Every observability counter in one mutex-consistent snapshot — depth
+  /// and high-water cohere with pushed/popped, unlike separate size()
+  /// calls racing each other.
+  [[nodiscard]] QueueStats stats() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    QueueStats s;
+    s.depth = size_;
+    s.high_water = high_water_;
+    s.pushed = next_slot_;
+    s.popped = popped_;
+    s.steals = steals_;
+    s.backpressure_engages = bp_engages_;
+    s.backpressure_releases = bp_releases_;
+    s.steals_per_shard = steals_per_shard_;
+    return s;
+  }
+
  private:
   [[nodiscard]] bool has_space() const {
     return capacity_ == 0 || size_ < capacity_;
@@ -145,10 +188,12 @@ class JobQueue {
         static_cast<std::size_t>(job.cache_key() % shards_);
     queues_[shard].push_back(SlottedJob{next_slot_++, std::move(job)});
     ++size_;
+    high_water_ = std::max(high_water_, size_);
   }
 
   SlottedJob dequeue(std::size_t home) {  // caller holds mu_; size_ > 0
     --size_;
+    ++popped_;
     std::deque<SlottedJob>& own = queues_[home];
     if (!own.empty()) {
       SlottedJob job = std::move(own.front());
@@ -160,6 +205,8 @@ class JobQueue {
       if (queues_[s].size() > queues_[victim].size()) victim = s;
     CASBUS_ASSERT(!queues_[victim].empty(),
                   "JobQueue: size_ > 0 but every shard is empty");
+    ++steals_;
+    ++steals_per_shard_[victim];
     SlottedJob job = std::move(queues_[victim].back());
     queues_[victim].pop_back();
     return job;
@@ -174,6 +221,13 @@ class JobQueue {
   std::size_t size_ = 0;
   std::size_t next_slot_ = 0;
   bool closed_ = false;
+  // Observability counters (all guarded by mu_; see stats()).
+  std::size_t high_water_ = 0;
+  std::size_t popped_ = 0;
+  std::size_t steals_ = 0;
+  std::size_t bp_engages_ = 0;
+  std::size_t bp_releases_ = 0;
+  std::vector<std::size_t> steals_per_shard_;
 };
 
 }  // namespace casbus::floor

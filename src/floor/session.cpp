@@ -1,6 +1,7 @@
 #include "floor/session.hpp"
 
 #include <chrono>
+#include <utility>
 
 #include "floor/program_cache.hpp"
 
@@ -11,6 +12,25 @@ FloorSession::FloorSession(FloorConfig config)
       workers_(effective_workers(config.workers)),
       queue_(workers_, config.queue_capacity),
       start_(std::chrono::steady_clock::now()) {
+  if (config_.metrics) {
+    registry_ = std::make_unique<obs::Registry>();
+    ids_ = register_floor_metrics(*registry_);
+    // Pull-based gauges: sampled only at snapshot() time, so the hot
+    // path pays nothing for them. Samplers read this session's own
+    // thread-safe counters and are torn down with the registry, which
+    // this session outlives.
+    registry_->gauge("floor.queue.depth", [this] {
+      return static_cast<double>(queue_.size());
+    });
+    registry_->gauge("floor.jobs.in_flight", [this] {
+      return static_cast<double>(
+          in_flight_.load(std::memory_order_relaxed));
+    });
+  }
+  if (config_.trace_capacity > 0)
+    trace_ = std::make_unique<obs::TraceRecorder>(config_.trace_capacity);
+  busy_us_ = std::make_unique<std::atomic<std::uint64_t>[]>(workers_);
+  for (std::size_t w = 0; w < workers_; ++w) busy_us_[w].store(0);
   pool_.reserve(workers_);
   for (std::size_t w = 0; w < workers_; ++w)
     pool_.emplace_back([this, w] { worker_main(w); });
@@ -64,23 +84,101 @@ FloorReport FloorSession::drain() {
   return aggregate_results(std::move(results_), workers_, wall);
 }
 
+FloorStats FloorSession::stats_snapshot() const {
+  FloorStats stats;
+  stats.uptime_seconds = std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count();
+  stats.workers = workers_;
+  stats.metrics_enabled = registry_ != nullptr;
+  stats.queue = queue_.stats();
+  stats.submitted = stats.queue.pushed;
+  stats.in_flight = in_flight_.load(std::memory_order_relaxed);
+  {
+    const std::lock_guard<std::mutex> lock(results_mu_);
+    stats.completed = completed_;
+    stats.errored = errored_;
+  }
+  stats.worker_busy_seconds.resize(workers_, 0.0);
+  for (std::size_t w = 0; w < workers_; ++w)
+    stats.worker_busy_seconds[w] =
+        static_cast<double>(busy_us_[w].load(std::memory_order_relaxed)) *
+        1e-6;
+  if (trace_ != nullptr) {
+    stats.trace_recorded = trace_->recorded();
+    stats.trace_dropped = trace_->dropped();
+  }
+  if (registry_ == nullptr) return stats;
+
+  const obs::Snapshot snap = registry_->snapshot();
+  stats.cache_lookups = snap.counter("floor.cache.lookups");
+  stats.cache_program_hits = snap.counter("floor.cache.hits.program");
+  stats.cache_verdict_hits = snap.counter("floor.cache.hits.verdict");
+  stats.cache_insertions = snap.counter("floor.cache.insertions");
+  stats.cache_evictions = snap.counter("floor.cache.evictions");
+  stats.sim_memo_lookups = snap.counter("floor.sim.memo.lookups");
+  stats.sim_memo_hits = snap.counter("floor.sim.memo.hits");
+  stats.sim_precompute_seconds =
+      static_cast<double>(snap.counter("floor.sim.precompute.us")) * 1e-6;
+  stats.sim_eval_passes = snap.counter("floor.sim.eval_passes");
+  stats.sim_cell_evals = snap.counter("floor.sim.cell_evals");
+  stats.sim_sweep_cell_evals = snap.counter("floor.sim.sweep_cell_evals");
+  stats.sched_nodes_expanded = snap.counter("floor.sched.nodes_expanded");
+  stats.sched_prunes = snap.counter("floor.sched.prunes");
+  stats.sched_improvements = snap.counter("floor.sched.improvements");
+  for (std::size_t s = 0; s < kStageCount; ++s) {
+    const obs::HistogramSnapshot* h = snap.histogram(
+        std::string("floor.stage.") + stage_name(static_cast<Stage>(s)) +
+        ".us");
+    if (h == nullptr) continue;
+    StageDigest& d = stats.stages[s];
+    d.count = h->count;
+    d.total_seconds = h->sum * 1e-6;  // histogram records µs
+    d.p50_us = h->p50();
+    d.p90_us = h->p90();
+    d.p99_us = h->p99();
+  }
+  return stats;
+}
+
 void FloorSession::worker_main(std::size_t worker) {
   // The worker's private program cache: equal-keyed jobs are routed here
   // by the queue's affinity sharding, so repeated specs skip the
   // Schedule+Compile stages without any cross-thread sharing.
   ProgramCache cache(config_.cache_capacity, config_.reuse_verdicts);
   ProgramCache* cache_ptr = config_.cache_capacity ? &cache : nullptr;
+  if (registry_ != nullptr) {
+    cache.set_telemetry(CacheTelemetry{
+        registry_.get(), ids_.cache_lookups, ids_.cache_program_hits,
+        ids_.cache_verdict_hits, ids_.cache_insertions,
+        ids_.cache_evictions});
+  }
+
+  JobTelemetry obs;
+  obs.registry = registry_.get();
+  obs.ids = registry_ != nullptr ? &ids_ : nullptr;
+  obs.trace = trace_.get();
+  obs.worker = static_cast<std::uint32_t>(worker);
 
   while (std::optional<SlottedJob> job = queue_.pop(worker)) {
+    in_flight_.fetch_add(1, std::memory_order_relaxed);
+    obs.slot = job->slot;
     const auto start = std::chrono::steady_clock::now();
     JobResult result =
         run_job(job->spec, cache_ptr, config_.verify,
-                JobSimOptions{config_.event_sim, config_.sim_threads});
+                JobSimOptions{config_.event_sim, config_.sim_threads},
+                obs);
+    const auto end = std::chrono::steady_clock::now();
     result.wall_seconds =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() -
-                                      start)
-            .count();
+        std::chrono::duration<double>(end - start).count();
+    busy_us_[worker].fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(end -
+                                                                  start)
+                .count()),
+        std::memory_order_relaxed);
 
+    const bool errored = !result.error.empty();
     const std::lock_guard<std::mutex> lock(results_mu_);
     if (job->slot >= results_.size()) {
       results_.resize(job->slot + 1);
@@ -89,6 +187,8 @@ void FloorSession::worker_main(std::size_t worker) {
     results_[job->slot] = std::move(result);
     done_[job->slot] = 1;
     ++completed_;
+    if (errored) ++errored_;
+    in_flight_.fetch_sub(1, std::memory_order_relaxed);
   }
 }
 

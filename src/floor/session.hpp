@@ -33,15 +33,21 @@
 
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
+#include <memory>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "floor/job.hpp"
 #include "floor/job_queue.hpp"
 #include "floor/report.hpp"
+#include "floor/telemetry.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace casbus::floor {
 
@@ -83,6 +89,16 @@ struct FloorConfig {
   /// many. Cannot change any deterministic result or the
   /// deterministic_summary() text.
   std::size_t sim_threads = 1;
+  /// Enables the metrics registry (src/obs/): per-thread-sharded counters
+  /// and stage-latency histograms, surfaced by stats_snapshot(). Pure
+  /// observation — cannot change any deterministic result or the
+  /// deterministic_summary() text (tests/test_obs.cpp pins this); when
+  /// off, the cost at every instrument site is a null-pointer test.
+  bool metrics = false;
+  /// Span capacity of the pipeline trace (obs::TraceRecorder); 0 disables
+  /// tracing. Spans past capacity are counted and dropped — tracing never
+  /// blocks a worker. Same determinism guarantee as `metrics`.
+  std::size_t trace_capacity = 0;
 };
 
 /// A live streaming session. Not copyable or movable: workers hold `this`.
@@ -135,13 +151,48 @@ class FloorSession {
   /// job the session accepted, in slot order. Call at most once.
   [[nodiscard]] FloorReport drain();
 
+  // --- observability surfaces ----------------------------------------------
+
+  /// A consistent-enough live snapshot of the whole session (telemetry.hpp
+  /// documents every field). Safe to call at any time from any thread,
+  /// concurrently with running workers; with FloorConfig::metrics off the
+  /// registry-backed counters read zero (metrics_enabled says so) while
+  /// the queue/flow numbers stay live.
+  [[nodiscard]] FloorStats stats_snapshot() const;
+
+  /// The session's metrics registry, or null when FloorConfig::metrics is
+  /// off. Useful for registering caller-side gauges next to the floor's.
+  [[nodiscard]] obs::Registry* registry() noexcept {
+    return registry_.get();
+  }
+
+  /// The session's trace recorder, or null when trace_capacity is 0.
+  [[nodiscard]] obs::TraceRecorder* trace() noexcept { return trace_.get(); }
+
+  /// Writes the pipeline trace as Chrome trace-event JSON. False when
+  /// tracing is off or the file cannot be written. Intended after
+  /// drain(), but safe (published spans only) at any time.
+  [[nodiscard]] bool write_trace(const std::string& path) const {
+    return trace_ != nullptr && trace_->write_chrome_trace(path);
+  }
+
  private:
   void worker_main(std::size_t worker);
 
   FloorConfig config_;
   std::size_t workers_;
+  // Telemetry sinks are constructed before the queue/pool and must
+  // outlive the workers that write to them.
+  std::unique_ptr<obs::Registry> registry_;  ///< null when metrics off
+  FloorMetricIds ids_;                       ///< valid when registry_ set
+  std::unique_ptr<obs::TraceRecorder> trace_;  ///< null when tracing off
   JobQueue queue_;
   std::chrono::steady_clock::time_point start_;
+  /// Per-worker busy time in µs; atomic because stats_snapshot() reads
+  /// while workers accumulate. unique_ptr array: atomics can't live in a
+  /// resizable vector.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> busy_us_;
+  std::atomic<std::uint64_t> in_flight_{0};
   std::vector<std::thread> pool_;
   bool drained_ = false;
 
@@ -149,6 +200,7 @@ class FloorSession {
   std::vector<JobResult> results_;  ///< indexed by slot
   std::vector<char> done_;          ///< parallel to results_
   std::size_t completed_ = 0;
+  std::size_t errored_ = 0;    ///< completed jobs with non-empty error
   std::size_t next_poll_ = 0;  ///< first slot not yet handed to poll
   bool harvested_ = false;     ///< drain() took the results vector
 };

@@ -1,0 +1,293 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <sstream>
+
+namespace casbus::obs {
+namespace {
+
+/// Registry serial numbers are process-unique so a thread-local cache
+/// entry can never falsely match a new Registry that reuses a dead one's
+/// address. Serial 0 is reserved as "empty cache entry".
+std::atomic<std::uint64_t> g_next_serial{1};
+
+/// Formats a double the way JSON wants it: finite, shortest-ish, and
+/// never "nan"/"inf" (both are invalid JSON — map to 0).
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+/// One thread's private slice of every metric. `slots` carries all
+/// counter cells and histogram bucket/count cells; `sums` carries the
+/// histogram sums (doubles). Only the owning thread writes; snapshot()
+/// reads with relaxed loads. Sized at creation — a shard created before
+/// a late registration simply has no cells for the new metric, and the
+/// hot path bounds-checks against that (registration is expected to
+/// happen before worker threads start, so in practice this never trips).
+struct alignas(64) Registry::Shard {
+  explicit Shard(std::size_t slot_count, std::size_t sum_count)
+      : slots(slot_count), sums(sum_count) {}
+  std::vector<std::atomic<std::uint64_t>> slots;
+  std::vector<std::atomic<double>> sums;
+};
+
+Registry::Registry()
+    : serial_(g_next_serial.fetch_add(1, std::memory_order_relaxed)) {}
+
+Registry::~Registry() = default;
+
+MetricId Registry::counter(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    if (counters_[i].name == name) return i;
+  }
+  counters_.push_back(CounterDesc{std::move(name), slot_count_});
+  ++slot_count_;
+  return counters_.size() - 1;
+}
+
+MetricId Registry::histogram(std::string name, std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (std::size_t i = 0; i < histograms_.size(); ++i) {
+    if (histograms_[i].name == name) return i;
+  }
+  HistogramDesc desc;
+  desc.name = std::move(name);
+  desc.bounds = std::move(bounds);
+  std::sort(desc.bounds.begin(), desc.bounds.end());
+  desc.slot = slot_count_;
+  desc.sum = sum_count_;
+  slot_count_ += desc.bounds.size() + 2;  // buckets + overflow + count
+  ++sum_count_;
+  histograms_.push_back(std::move(desc));
+  return histograms_.size() - 1;
+}
+
+void Registry::gauge(std::string name, std::function<double()> sampler) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& g : gauges_) {
+    if (g.name == name) {
+      g.sampler = std::move(sampler);
+      return;
+    }
+  }
+  gauges_.push_back(GaugeDesc{std::move(name), std::move(sampler)});
+}
+
+Registry::Shard* Registry::make_shard_locked() const {
+  shards_.push_back(std::make_unique<Shard>(slot_count_, sum_count_));
+  return shards_.back().get();
+}
+
+namespace {
+
+/// A thread's cached view of one registry: its private shard plus the
+/// slot layout frozen at shard-creation time. A metric registered after
+/// that moment has no cells in this shard anyway (shards are sized at
+/// creation), so the frozen layout and the shard agree by construction —
+/// which is what lets add()/observe() skip the registry mutex entirely.
+struct ShardView {
+  std::uint64_t serial = 0;
+  Registry::Shard* shard = nullptr;
+  std::vector<std::size_t> counter_slots;  ///< indexed by counter id
+  struct Hist {
+    std::size_t slot = 0;  ///< first bucket cell
+    std::size_t sum = 0;
+    std::vector<double> bounds;
+  };
+  std::vector<Hist> hists;  ///< indexed by histogram id
+};
+
+}  // namespace
+
+const void* Registry::local_view_erased() const {
+  // A thread usually touches one registry (the session's), occasionally
+  // two (a test exercising several) — a tiny linear-scanned vector beats
+  // a map here.
+  thread_local std::vector<ShardView> cache;
+  for (const auto& e : cache) {
+    if (e.serial == serial_) return &e;
+  }
+  ShardView view;
+  view.serial = serial_;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    view.shard = make_shard_locked();
+    view.counter_slots.reserve(counters_.size());
+    for (const auto& c : counters_) view.counter_slots.push_back(c.slot);
+    view.hists.reserve(histograms_.size());
+    for (const auto& h : histograms_) {
+      view.hists.push_back(ShardView::Hist{h.slot, h.sum, h.bounds});
+    }
+  }
+  cache.push_back(std::move(view));
+  return &cache.back();
+}
+
+void Registry::add(MetricId id, std::uint64_t delta) noexcept {
+  const auto& view = *static_cast<const ShardView*>(local_view_erased());
+  if (id >= view.counter_slots.size()) return;  // registered after shard
+  auto& cell = view.shard->slots[view.counter_slots[id]];
+  cell.store(cell.load(std::memory_order_relaxed) + delta,
+             std::memory_order_relaxed);
+}
+
+void Registry::observe(MetricId id, double value) noexcept {
+  const auto& view = *static_cast<const ShardView*>(local_view_erased());
+  if (id >= view.hists.size()) return;  // registered after shard
+  const auto& h = view.hists[id];
+  const std::size_t buckets = h.bounds.size() + 1;
+  const std::size_t bucket = static_cast<std::size_t>(
+      std::lower_bound(h.bounds.begin(), h.bounds.end(), value) -
+      h.bounds.begin());
+  auto bump = [](std::atomic<std::uint64_t>& cell) {
+    cell.store(cell.load(std::memory_order_relaxed) + 1,
+               std::memory_order_relaxed);
+  };
+  bump(view.shard->slots[h.slot + bucket]);
+  bump(view.shard->slots[h.slot + buckets]);  // count cell after buckets
+  auto& sum_cell = view.shard->sums[h.sum];
+  sum_cell.store(sum_cell.load(std::memory_order_relaxed) + value,
+                 std::memory_order_relaxed);
+}
+
+Snapshot Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Snapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& c : counters_) {
+    std::uint64_t total = 0;
+    for (const auto& shard : shards_) {
+      if (c.slot < shard->slots.size()) {
+        total += shard->slots[c.slot].load(std::memory_order_relaxed);
+      }
+    }
+    snap.counters.emplace_back(c.name, total);
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& g : gauges_) {
+    snap.gauges.emplace_back(g.name, g.sampler ? g.sampler() : 0.0);
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& h : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = h.name;
+    hs.bounds = h.bounds;
+    hs.counts.assign(h.bounds.size() + 1, 0);
+    const std::size_t buckets = h.bounds.size() + 1;
+    for (const auto& shard : shards_) {
+      if (h.slot + buckets + 1 > shard->slots.size()) continue;
+      for (std::size_t b = 0; b < buckets; ++b) {
+        hs.counts[b] += shard->slots[h.slot + b].load(
+            std::memory_order_relaxed);
+      }
+      hs.count += shard->slots[h.slot + buckets].load(
+          std::memory_order_relaxed);
+      if (h.sum < shard->sums.size()) {
+        hs.sum += shard->sums[h.sum].load(std::memory_order_relaxed);
+      }
+    }
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
+std::size_t Registry::shard_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return shards_.size();
+}
+
+std::vector<double> Registry::latency_buckets_us() {
+  // 1-2-5 ladder from 1 µs to 10 s: wide enough for a sub-µs Build stage
+  // and a multi-second 1000-core Schedule alike.
+  std::vector<double> bounds;
+  for (double decade = 1.0; decade <= 1e7; decade *= 10.0) {
+    bounds.push_back(decade);
+    bounds.push_back(decade * 2.0);
+    bounds.push_back(decade * 5.0);
+  }
+  return bounds;
+}
+
+double HistogramSnapshot::percentile(double q) const {
+  if (count == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const std::uint64_t in_bucket = counts[b];
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(seen + in_bucket) >= rank) {
+      if (b >= bounds.size()) {
+        // Overflow bucket is unbounded above; report its lower bound.
+        return bounds.empty() ? 0.0 : bounds.back();
+      }
+      const double lo = b == 0 ? 0.0 : bounds[b - 1];
+      const double hi = bounds[b];
+      const double into =
+          (rank - static_cast<double>(seen)) / static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(into, 0.0, 1.0);
+    }
+    seen += in_bucket;
+  }
+  return bounds.empty() ? 0.0 : bounds.back();
+}
+
+std::uint64_t Snapshot::counter(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+double Snapshot::gauge(std::string_view name) const {
+  for (const auto& [n, v] : gauges) {
+    if (n == name) return v;
+  }
+  return 0.0;
+}
+
+const HistogramSnapshot* Snapshot::histogram(std::string_view name) const& {
+  for (const auto& h : histograms) {
+    if (h.name == name) return &h;
+  }
+  return nullptr;
+}
+
+std::string Snapshot::to_json() const {
+  std::ostringstream os;
+  os << '{';
+  bool first = true;
+  auto sep = [&] {
+    if (!first) os << ',';
+    first = false;
+  };
+  for (const auto& [n, v] : counters) {
+    sep();
+    os << '"' << n << "\":" << v;
+  }
+  for (const auto& [n, v] : gauges) {
+    sep();
+    os << '"' << n << "\":" << json_number(v);
+  }
+  for (const auto& h : histograms) {
+    sep();
+    os << '"' << h.name << "\":{\"count\":" << h.count
+       << ",\"sum\":" << json_number(h.sum)
+       << ",\"p50\":" << json_number(h.p50())
+       << ",\"p90\":" << json_number(h.p90())
+       << ",\"p99\":" << json_number(h.p99()) << '}';
+  }
+  os << '}';
+  return os.str();
+}
+
+}  // namespace casbus::obs

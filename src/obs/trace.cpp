@@ -1,0 +1,106 @@
+#include "obs/trace.hpp"
+
+#include <fstream>
+#include <ostream>
+
+namespace casbus::obs {
+
+/// One buffer cell. `ready` is the publication flag: the recording thread
+/// release-stores it after filling `span`, and readers acquire-load it
+/// before touching `span` — the only synchronization a fixed-size,
+/// claim-then-fill buffer needs.
+struct TraceRecorder::Slot {
+  TraceSpan span;
+  std::atomic<bool> ready{false};
+};
+
+TraceRecorder::TraceRecorder(std::size_t capacity)
+    : capacity_(capacity == 0 ? 1 : capacity),
+      slots_(new Slot[capacity == 0 ? 1 : capacity]),
+      epoch_(std::chrono::steady_clock::now()) {}
+
+TraceRecorder::~TraceRecorder() = default;
+
+std::uint64_t TraceRecorder::now_us() const {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - epoch_)
+          .count());
+}
+
+bool TraceRecorder::record(const TraceSpan& span) noexcept {
+  const std::size_t idx = next_.fetch_add(1, std::memory_order_relaxed);
+  if (idx >= capacity_) {
+    // Drop-newest: the buffer keeps the run's beginning (see file
+    // comment). The cursor keeps advancing so dropped() is exact.
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  slots_[idx].span = span;
+  slots_[idx].ready.store(true, std::memory_order_release);
+  return true;
+}
+
+std::size_t TraceRecorder::recorded() const noexcept {
+  const std::size_t claimed = next_.load(std::memory_order_relaxed);
+  return claimed < capacity_ ? claimed : capacity_;
+}
+
+namespace {
+
+void write_escaped(std::ostream& os, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      os << '\\' << c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      os << ' ';
+    } else {
+      os << c;
+    }
+  }
+}
+
+}  // namespace
+
+void TraceRecorder::write_chrome_trace(std::ostream& os) const {
+  os << "{\"displayTimeUnit\":\"ms\",\"otherData\":{\"recorded\":"
+     << recorded() << ",\"dropped\":" << dropped()
+     << ",\"capacity\":" << capacity_ << "},\"traceEvents\":[";
+  const std::size_t n = recorded();
+  bool first = true;
+  for (std::size_t i = 0; i < n; ++i) {
+    const Slot& slot = slots_[i];
+    if (!slot.ready.load(std::memory_order_acquire)) continue;
+    const TraceSpan& s = slot.span;
+    if (!first) os << ',';
+    first = false;
+    os << "\n{\"name\":\"";
+    write_escaped(os, s.name);
+    os << "\",\"cat\":\"";
+    write_escaped(os, s.category);
+    os << "\",\"ph\":\"X\",\"ts\":" << s.ts_us << ",\"dur\":" << s.dur_us
+       << ",\"pid\":1,\"tid\":" << s.tid << ",\"args\":{\"slot\":" << s.slot;
+    if (s.scenario != nullptr) {
+      os << ",\"scenario\":\"";
+      write_escaped(os, s.scenario);
+      os << '"';
+    }
+    if (s.cache_tier != nullptr) {
+      os << ",\"cache_tier\":\"";
+      write_escaped(os, s.cache_tier);
+      os << '"';
+    }
+    os << "}}";
+  }
+  os << "\n]}\n";
+}
+
+bool TraceRecorder::write_chrome_trace(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  write_chrome_trace(out);
+  return static_cast<bool>(out);
+}
+
+}  // namespace casbus::obs

@@ -1,0 +1,92 @@
+/// \file trace.hpp
+/// Pipeline tracing: a bounded, drop-safe span buffer serialized to the
+/// Chrome trace-event JSON format (load the file in chrome://tracing or
+/// https://ui.perfetto.dev to see the floor's per-job stage timeline).
+///
+/// ## Why drop-newest, why never block
+/// Tracing rides inside the floor's worker hot loop. A recorder that
+/// blocks (or allocates) when full would couple job throughput to trace
+/// consumption, which is exactly the tail-latency coupling observability
+/// must not introduce. So the buffer is bounded at construction, spans
+/// past capacity are *counted and dropped* (drop-newest keeps the start
+/// of the run, which is where scheduling anomalies live), and record()
+/// is wait-free: one fetch_add to claim a slot, one release store to
+/// publish it.
+///
+/// ## Timestamps
+/// All spans share one steady-clock epoch (recorder construction), so a
+/// single trace file's spans are mutually ordered even across threads.
+/// Times are microseconds, the trace-event format's native unit.
+///
+/// ## String lifetime
+/// TraceSpan carries `const char*` fields on purpose: the recorder never
+/// copies them, so they must outlive the recorder — in practice they are
+/// string literals (stage_name(), scenario_name(), cache_tier_name()).
+
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+namespace casbus::obs {
+
+/// One completed span: a named interval on a thread. Default category
+/// "stage" matches the floor's six pipeline stages; job-level spans use
+/// "job".
+struct TraceSpan {
+  const char* name = "";            ///< static-lifetime (see file comment)
+  const char* category = "stage";   ///< static-lifetime
+  const char* scenario = nullptr;   ///< optional args.scenario
+  const char* cache_tier = nullptr; ///< optional args.cache_tier
+  std::uint32_t tid = 0;            ///< worker index (trace row)
+  std::uint64_t slot = 0;           ///< job arrival slot (args.slot)
+  std::uint64_t ts_us = 0;          ///< start, µs since recorder epoch
+  std::uint64_t dur_us = 0;         ///< duration, µs
+};
+
+class TraceRecorder {
+ public:
+  /// \p capacity spans are retained; everything past that is dropped and
+  /// counted. Sized once — no allocation ever happens on record().
+  explicit TraceRecorder(std::size_t capacity);
+  ~TraceRecorder();
+  TraceRecorder(const TraceRecorder&) = delete;
+  TraceRecorder& operator=(const TraceRecorder&) = delete;
+
+  /// Microseconds since this recorder's epoch; use for TraceSpan::ts_us.
+  [[nodiscard]] std::uint64_t now_us() const;
+
+  /// Wait-free append. Returns false (and counts a drop) when full.
+  bool record(const TraceSpan& span) noexcept;
+
+  [[nodiscard]] std::size_t capacity() const noexcept { return capacity_; }
+  /// Spans retained in the buffer.
+  [[nodiscard]] std::size_t recorded() const noexcept;
+  /// Spans refused because the buffer was full.
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Serializes retained spans as Chrome trace-event JSON. Safe to call
+  /// while workers still record (published spans only), but the intended
+  /// use is after drain(). otherData carries recorded/dropped counts so a
+  /// truncated trace is self-describing.
+  void write_chrome_trace(std::ostream& os) const;
+  /// File-path convenience; false when the file cannot be opened.
+  bool write_chrome_trace(const std::string& path) const;
+
+ private:
+  struct Slot;
+
+  const std::size_t capacity_;
+  std::unique_ptr<Slot[]> slots_;
+  std::atomic<std::size_t> next_{0};    ///< claim cursor (may exceed cap)
+  std::atomic<std::uint64_t> dropped_{0};
+  std::chrono::steady_clock::time_point epoch_;
+};
+
+}  // namespace casbus::obs

@@ -39,7 +39,8 @@ Strategy strategy_from_name(std::string_view name) {
   return Strategy::Greedy;  // unreachable
 }
 
-Schedule SessionScheduler::schedule_with(Strategy s) const {
+Schedule SessionScheduler::schedule_with(Strategy s,
+                                         ScheduleStats* stats) const {
   switch (s) {
     case Strategy::Single: return single_session();
     case Strategy::PerCore: return per_core_sessions();
@@ -51,16 +52,25 @@ Schedule SessionScheduler::schedule_with(Strategy s) const {
       // best()-vs-optimal comparison.
       return exact_schedule(*this, 12, /*compute_heuristic_gap=*/false)
           .schedule;
-    case Strategy::BranchBound:
-      return explore::BranchBoundScheduler(*this).run().schedule;
+    case Strategy::BranchBound: {
+      const explore::BranchBoundResult result =
+          explore::BranchBoundScheduler(*this).run();
+      if (stats != nullptr) {
+        stats->nodes_expanded = result.nodes_expanded;
+        stats->prunes = result.prunes;
+        stats->incumbent_improvements = result.incumbent_improvements;
+        stats->leaves_priced = result.leaves_priced;
+      }
+      return result.schedule;
+    }
   }
   CASBUS_REQUIRE(false, "schedule_with: invalid strategy");
   return {};  // unreachable
 }
 
 Schedule schedule_with(const std::vector<CoreTestSpec>& cores,
-                       unsigned bus_width, Strategy s) {
-  return SessionScheduler(cores, bus_width).schedule_with(s);
+                       unsigned bus_width, Strategy s, ScheduleStats* stats) {
+  return SessionScheduler(cores, bus_width).schedule_with(s, stats);
 }
 
 SessionScheduler::SessionScheduler(std::vector<CoreTestSpec> cores,

@@ -20,6 +20,17 @@
 
 namespace casbus::sched {
 
+/// Search-effort counters a strategy can report through schedule_with()'s
+/// optional out-param. Only search-based strategies fill them in
+/// (Strategy::BranchBound today); analytic heuristics leave the zeros.
+/// Pure observability: the counters never influence the schedule.
+struct ScheduleStats {
+  std::uint64_t nodes_expanded = 0;          ///< B&B nodes popped
+  std::uint64_t prunes = 0;                  ///< children cut by the bound
+  std::uint64_t incumbent_improvements = 0;  ///< times the best improved
+  std::uint64_t leaves_priced = 0;           ///< full partitions priced
+};
+
 /// Named scheduling strategies, so callers that select a strategy at run
 /// time (CLI flags, test-floor job specs, benchmark sweeps) can drive
 /// SessionScheduler generically via SessionScheduler::schedule_with().
@@ -121,8 +132,10 @@ class SessionScheduler {
   /// entry point used by the test floor and the CLIs. Strategy::Exact
   /// throws (via exact_schedule) beyond ~12 scan cores;
   /// Strategy::BranchBound runs the default-budget branch-and-bound and
-  /// always returns a chip-synchronous partition schedule.
-  [[nodiscard]] Schedule schedule_with(Strategy s) const;
+  /// always returns a chip-synchronous partition schedule. A non-null
+  /// \p stats receives the strategy's search-effort counters.
+  [[nodiscard]] Schedule schedule_with(Strategy s,
+                                       ScheduleStats* stats = nullptr) const;
 
   /// Cycles to reconfigure between sessions on this SoC (every CAS IR plus
   /// the wrapper ring). Computed once at construction — it depends only on
@@ -163,6 +176,7 @@ class SessionScheduler {
 /// program caches (src/floor/) key compiled programs on a digest of these
 /// inputs and reuse the returned Schedule byte-for-byte.
 [[nodiscard]] Schedule schedule_with(const std::vector<CoreTestSpec>& cores,
-                                     unsigned bus_width, Strategy s);
+                                     unsigned bus_width, Strategy s,
+                                     ScheduleStats* stats = nullptr);
 
 }  // namespace casbus::sched

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <exception>
 #include <thread>
 
@@ -36,15 +37,30 @@ const BitVector& SocTester::expected_response(const CoreRef& ref,
                                               const BitVector& pattern) {
   // find-then-emplace so the concurrent precompute path (which pre-creates
   // every per-core entry serially) never mutates the outer map.
+  memo_lookups_.fetch_add(1, std::memory_order_relaxed);
   auto mit = golden_cache_.find(ref);
   if (mit == golden_cache_.end())
     mit = golden_cache_.emplace(ref, decltype(mit->second){}).first;
   std::unordered_map<std::string, BitVector>& cache = mit->second;
   const std::string key = pattern.to_string();
   auto it = cache.find(key);
-  if (it == cache.end())
+  if (it == cache.end()) {
     it = cache.emplace(key, golden_for(ref).good_response(pattern)).first;
+  } else {
+    memo_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
   return it->second;
+}
+
+netlist::SimStats SocTester::sim_stats() const {
+  netlist::SimStats total;
+  for (const auto& [ref, fsim] : golden_) {
+    const netlist::SimStats& s = fsim->stats();
+    total.eval_passes += s.eval_passes;
+    total.cell_evals += s.cell_evals;
+    total.sweep_cell_evals += s.sweep_cell_evals;
+  }
+  return total;
 }
 
 void SocTester::reset() { soc_.reset(); }
@@ -308,6 +324,7 @@ ScanSessionResult SocTester::run_scan_session(const ScanSession& session) {
   std::vector<std::vector<const BitVector*>> expected_all(
       session.targets.size());
   {
+    const auto precompute_start = std::chrono::steady_clock::now();
     std::map<CoreRef, std::vector<std::size_t>> targets_of_core;
     for (std::size_t t = 0; t < session.targets.size(); ++t)
       targets_of_core[session.targets[t].core].push_back(t);
@@ -353,6 +370,10 @@ ScanSessionResult SocTester::run_scan_session(const ScanSession& session) {
       for (const std::exception_ptr& e : errors)
         if (e) std::rethrow_exception(e);
     }
+    precompute_seconds_ += std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() -
+                               precompute_start)
+                               .count();
   }
 
   result.targets.resize(session.targets.size());

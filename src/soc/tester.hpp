@@ -9,6 +9,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <memory>
@@ -212,6 +213,31 @@ class SocTester {
     return soc_.simulation().cycle();
   }
 
+  // --- observability --------------------------------------------------------
+  // Work counters of this tester's golden-model machinery, harvested by
+  // the floor's telemetry layer after each job. Pure observation: nothing
+  // here feeds back into any result.
+
+  /// Golden-response memo probes / probes served without simulating.
+  /// Atomic because the threaded precompute path calls expected_response
+  /// concurrently (one thread per core shard).
+  [[nodiscard]] std::uint64_t memo_lookups() const noexcept {
+    return memo_lookups_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t memo_hits() const noexcept {
+    return memo_hits_.load(std::memory_order_relaxed);
+  }
+
+  /// Wall time spent in run_scan_session's golden-response precompute
+  /// blocks (threaded or inline), summed over the tester's lifetime.
+  [[nodiscard]] double precompute_seconds() const noexcept {
+    return precompute_seconds_;
+  }
+
+  /// Packed-simulation work summed over every golden-model engine this
+  /// tester has created (netlist::SimStats semantics).
+  [[nodiscard]] netlist::SimStats sim_stats() const;
+
  private:
   struct Segment {  // one (target, chain) occupancy of a wire
     std::size_t target_index;
@@ -245,6 +271,12 @@ class SocTester {
   /// Cached golden responses per core, keyed by pattern bits.
   std::map<CoreRef, std::unordered_map<std::string, BitVector>>
       golden_cache_;
+  /// Memo traffic (see memo_lookups()); relaxed atomics, written from the
+  /// precompute worker threads.
+  std::atomic<std::uint64_t> memo_lookups_{0};
+  std::atomic<std::uint64_t> memo_hits_{0};
+  /// Precompute wall time; written only by the session-running thread.
+  double precompute_seconds_ = 0.0;
 };
 
 }  // namespace casbus::soc

@@ -213,10 +213,13 @@ TEST(FloorSession, VerdictReuseRestampsJobIds) {
   for (std::size_t i = 0; i < 8; ++i) {
     EXPECT_EQ(report.results[i].id, i);  // not the qualifying job's id
     if (i > 0) {
-      EXPECT_TRUE(report.results[i].cache_hit);
+      EXPECT_TRUE(report.results[i].cache_hit());
+      EXPECT_EQ(report.results[i].cache_tier, CacheTier::Verdict);
     }
   }
   EXPECT_EQ(report.cache_hits, 7u);
+  EXPECT_EQ(report.verdict_tier_hits, 7u);
+  EXPECT_EQ(report.program_tier_hits, 0u);
 }
 
 // --- Stage accounting -------------------------------------------------------
@@ -277,7 +280,8 @@ TEST(ProgramCache, ReuseZeroesTimingAndMarksHit) {
   cache.qualify(spec, result);
   const auto memo = cache.reuse(spec);
   ASSERT_TRUE(memo.has_value());
-  EXPECT_TRUE(memo->cache_hit);
+  EXPECT_TRUE(memo->cache_hit());
+  EXPECT_EQ(memo->cache_tier, CacheTier::Verdict);
   EXPECT_EQ(memo->wall_seconds, 0.0);
   EXPECT_EQ(memo->stage_seconds[0], 0.0);
   EXPECT_TRUE(memo->pass);

@@ -6,6 +6,8 @@ Usage:
     check_bench_json.py --glob DIR      # validate every BENCH_*.json in DIR
     check_bench_json.py --floor FILE    # + require the floor streaming/cache
                                         #   record schema in FILE
+    check_bench_json.py --obs FILE      # + require the telemetry-overhead
+                                        #   record schema in FILE
 
 Each file must parse as JSON and carry a non-empty "records" array whose
 entries have the flat JsonReporter shape: name, params (str->str map),
@@ -100,6 +102,46 @@ def check_floor_schema(path: pathlib.Path) -> list[str]:
     return problems
 
 
+# (name, metric) pairs bench_obs must emit; the telemetry-overhead CI gate
+# (check_perf_gates.py --obs) consumes overhead_frac, so its absence must
+# fail loudly rather than skip the gate.
+OBS_REQUIRED_RECORDS = (
+    ("registry", "ns_per_op"),
+    ("floor_overhead", "off_seconds"),
+    ("floor_overhead", "on_seconds"),
+    ("floor_overhead", "overhead_frac"),
+)
+
+OBS_REQUIRED_REGISTRY_OPS = ("add", "observe", "disabled", "record")
+
+
+def check_obs_schema(path: pathlib.Path) -> list[str]:
+    """Checks the telemetry micro-cost/overhead record contract."""
+    try:
+        with path.open() as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return []  # unparseable: check_file already reported it
+    records = doc.get("records")
+    if not isinstance(records, list):
+        return []
+
+    problems = []
+    have = {(r.get("name"), r.get("metric")) for r in records
+            if isinstance(r, dict)}
+    for name, metric in OBS_REQUIRED_RECORDS:
+        if (name, metric) not in have:
+            problems.append(
+                f"{path}: missing obs record name={name} metric={metric}")
+    ops = {r["params"].get("op") for r in records
+           if isinstance(r, dict) and r.get("name") == "registry"
+           and isinstance(r.get("params"), dict)}
+    for op in OBS_REQUIRED_REGISTRY_OPS:
+        if op not in ops:
+            problems.append(f"{path}: missing registry micro-cost op={op}")
+    return problems
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("files", nargs="*", type=pathlib.Path)
@@ -115,6 +157,12 @@ def main() -> int:
         metavar="FILE",
         help="also require the floor streaming/cache record schema in FILE",
     )
+    parser.add_argument(
+        "--obs",
+        type=pathlib.Path,
+        metavar="FILE",
+        help="also require the telemetry-overhead record schema in FILE",
+    )
     args = parser.parse_args()
 
     files = list(args.files)
@@ -122,6 +170,8 @@ def main() -> int:
         files.extend(sorted(args.glob.glob("BENCH_*.json")))
     if args.floor is not None and args.floor not in files:
         files.append(args.floor)
+    if args.obs is not None and args.obs not in files:
+        files.append(args.obs)
     if not files:
         print("check_bench_json: no files to check", file=sys.stderr)
         return 2
@@ -131,6 +181,8 @@ def main() -> int:
         problems.extend(check_file(path))
     if args.floor is not None:
         problems.extend(check_floor_schema(args.floor))
+    if args.obs is not None:
+        problems.extend(check_obs_schema(args.obs))
     for problem in problems:
         print(problem, file=sys.stderr)
     if not problems:

@@ -3,9 +3,10 @@
 
 Usage:
     check_perf_gates.py BENCH_perf.json [--floors tools/bench_floors.json]
+    check_perf_gates.py --obs BENCH_obs.json --floors tools/bench_floors.json
 
-Three families of checks (docs/PERFORMANCE.md records the model they
-guard):
+Four families of checks (docs/PERFORMANCE.md and docs/OBSERVABILITY.md
+record the models they guard):
 
 1. Absolute floors (--floors): each entry of the floors file names a
    (benchmark, metric) pair and a 'min' (throughput counter) or 'max'
@@ -26,6 +27,13 @@ guard):
    typically 4 hyperthreaded vCPUs), skipped below 4 where no real-time
    speedup is physically possible. Correctness at any thread count is
    covered separately by tests/test_parallel_faultsim.cpp.
+
+4. Telemetry overhead (--obs, over BENCH_obs.json from bench_obs): the
+   whole-floor overhead fraction with metrics+tracing fully on must stay
+   under the 'obs.max_overhead' cap of the floors file (the <= 5%
+   acceptance bar of the observability layer), and the disabled
+   instrument site must stay under 'obs.max_disabled_ns' — it compiles
+   to a single null-pointer test and must keep doing so.
 
 Exits non-zero with one line per violated gate.
 """
@@ -126,18 +134,69 @@ def check_thread_scaling(values, problems):
             f"threads (< {required}x on {hw:.0f}-thread host)")
 
 
+DEFAULT_OBS_MAX_OVERHEAD = 0.05
+DEFAULT_OBS_MAX_DISABLED_NS = 5.0
+
+
+def check_obs_overhead(path, floors_path, problems):
+    """Telemetry-overhead gates over BENCH_obs.json (see module doc)."""
+    caps = {}
+    if floors_path:
+        caps = json.loads(pathlib.Path(floors_path).read_text()).get(
+            "obs", {})
+    max_overhead = caps.get("max_overhead", DEFAULT_OBS_MAX_OVERHEAD)
+    max_disabled = caps.get("max_disabled_ns", DEFAULT_OBS_MAX_DISABLED_NS)
+
+    doc = json.loads(pathlib.Path(path).read_text())
+    overhead = None
+    disabled_ns = None
+    for rec in doc["records"]:
+        if rec["name"] == "floor_overhead" and rec["metric"] == "overhead_frac":
+            overhead = rec["value"]
+        if (rec["name"] == "registry" and rec["metric"] == "ns_per_op"
+                and rec["params"].get("op") == "disabled"):
+            disabled_ns = rec["value"]
+
+    if overhead is None:
+        problems.append("no floor_overhead/overhead_frac record in artifact")
+    else:
+        print(f"telemetry overhead: {overhead * 100:.2f}% "
+              f"(gate: <= {max_overhead * 100:.0f}%)")
+        if overhead > max_overhead:
+            problems.append(
+                f"telemetry-on floor overhead is {overhead * 100:.2f}% "
+                f"(> {max_overhead * 100:.0f}%)")
+    if disabled_ns is None:
+        problems.append("no registry/disabled ns_per_op record in artifact")
+    else:
+        print(f"disabled instrument site: {disabled_ns:.2f} ns "
+              f"(gate: <= {max_disabled:.1f} ns)")
+        if disabled_ns > max_disabled:
+            problems.append(
+                f"disabled instrument site costs {disabled_ns:.2f} ns "
+                f"(> {max_disabled:.1f} ns: no longer just a null check)")
+
+
 def main():
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("artifact", help="BENCH_perf.json path")
+    parser.add_argument("artifact", nargs="?", help="BENCH_perf.json path")
     parser.add_argument("--floors", help="bench_floors.json path")
+    parser.add_argument("--obs", metavar="FILE",
+                        help="check telemetry-overhead gates over "
+                             "BENCH_obs.json instead of the perf gates")
     args = parser.parse_args()
 
-    values = load_values(args.artifact)
     problems = []
-    if args.floors:
-        check_floors(values, args.floors, problems)
-    check_event_speedup(values, problems)
-    check_thread_scaling(values, problems)
+    if args.obs:
+        check_obs_overhead(args.obs, args.floors, problems)
+    if args.artifact:
+        values = load_values(args.artifact)
+        if args.floors:
+            check_floors(values, args.floors, problems)
+        check_event_speedup(values, problems)
+        check_thread_scaling(values, problems)
+    elif not args.obs:
+        parser.error("need BENCH_perf.json and/or --obs BENCH_obs.json")
 
     for problem in problems:
         print(f"GATE FAILED: {problem}", file=sys.stderr)
