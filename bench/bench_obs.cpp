@@ -12,7 +12,12 @@
 ///     FloorSession with telemetry fully off and fully on
 ///     (metrics + tracing), reporting both throughputs and the relative
 ///     overhead fraction that the CI gate caps at 5%
-///     (tools/check_perf_gates.py --obs, bound in tools/bench_floors.json).
+///     (tools/check_perf_gates.py --obs, bound in tools/bench_floors.json),
+///   - health-engine costs: µs per TimeSeriesSampler tick over the full
+///     floor metric catalogue (gated at obs.max_sampler_tick_us — the
+///     budget one background tick may spend inside the registry) and µs
+///     per HealthMonitor::evaluate over the whole rule catalogue (gated
+///     at obs.max_health_eval_us).
 ///
 /// Artifact: BENCH_obs.json (validated in CI by check_bench_json.py --obs).
 
@@ -25,9 +30,12 @@
 #include <vector>
 
 #include "bench_util.hpp"
+#include "floor/health.hpp"
 #include "floor/job_factory.hpp"
 #include "floor/session.hpp"
+#include "floor/telemetry.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 #include "util/strings.hpp"
 #include "util/table.hpp"
@@ -170,6 +178,56 @@ int main() {
   rep.record("floor_overhead", params, "jobs_per_sec_off", kJobs / off_s);
   rep.record("floor_overhead", params, "jobs_per_sec_on", kJobs / on_s);
   rep.record("floor_overhead", params, "overhead_frac", overhead);
+
+  // --- Head 3: health-engine costs ----------------------------------------
+  // One sampler tick = one Registry::snapshot() of the full floor
+  // catalogue plus O(series) ring stores. Populate every metric first so
+  // the histograms flatten through their real percentile path.
+  obs::Registry floor_registry;
+  const floor::FloorMetricIds ids =
+      floor::register_floor_metrics(floor_registry);
+  for (std::size_t i = 0; i < 4096; ++i) {
+    floor_registry.add(ids.jobs_executed);
+    floor_registry.add(ids.cache_lookups);
+    for (const obs::MetricId stage : ids.stage_us)
+      floor_registry.observe(stage, static_cast<double>(i % 2000));
+  }
+  obs::TimeSeriesSampler sampler(floor_registry, {1000, 240});
+  constexpr std::size_t kTicks = 4096;
+  const double tick_us =
+      ns_per_op(kTicks, [&](std::size_t) { sampler.sample_now(); }) / 1e3;
+  const std::size_t series = sampler.series_names().size();
+
+  // One health evaluation over the whole catalogue, every rule armed so
+  // each one pays its full comparison + message path.
+  floor::HealthConfig hconfig;
+  hconfig.enabled = true;
+  hconfig.cache_hit_floor = 0.5;
+  hconfig.watchdog_ms = 100;
+  hconfig.stage_p99_ceiling_us.fill(1000.0);
+  floor::HealthMonitor monitor(hconfig);
+  floor::FloorStats stats;
+  stats.metrics_enabled = true;
+  stats.queue.capacity = 64;
+  stats.queue.depth = 60;  // warn-level: the message branch runs too
+  stats.worker_inflight_age_seconds = {0.0, 0.06, 0.0, 0.0};
+  stats.worker_heartbeats = {1, 1, 1, 1};
+  constexpr std::size_t kEvals = 65536;
+  const double eval_us = ns_per_op(kEvals, [&](std::size_t i) {
+    stats.completed = i;
+    (void)monitor.evaluate(stats, static_cast<double>(i) * 0.25);
+  }) / 1e3;
+
+  std::cout << "\nhealth engine:\n"
+            << "  sampler tick (" << series << " series): "
+            << format_double(tick_us, 2)
+            << " us (CI gate: <= 50 us)\n"
+            << "  rule evaluation (7 rules): " << format_double(eval_us, 2)
+            << " us (CI gate: <= 50 us)\n";
+
+  rep.record("sampler", {{"series", std::to_string(series)}}, "us_per_tick",
+             tick_us);
+  rep.record("health", {{"rules", "7"}}, "us_per_eval", eval_us);
 
   std::cout << "\nwrote " << rep.path() << " (" << rep.size()
             << " records)\n";

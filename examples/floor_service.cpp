@@ -28,9 +28,23 @@
 ///                           Chrome trace-event file (load in Perfetto)
 ///   --stats-interval-ms N   additionally print a live snapshot line to
 ///                           stderr every N ms while the floor runs
-/// Any of the three implies the live-session path (as if --stream).
-/// Telemetry observes only: the deterministic summary is byte-identical
-/// with these flags on or off.
+///
+/// Health engine (docs/OBSERVABILITY.md, "Health rules"):
+///   --health                run the SLO rule catalogue + sampler loop;
+///                           print the final report
+///   --health-interval-ms N  background sample/evaluate period (default
+///                           250 ms)
+///   --watchdog-ms N         HL006 worker-watchdog deadline (0 = off)
+///   --incident-dir DIR      flight recorder: write an incident bundle
+///                           on every critical transition
+///   --health-json FILE      write the final HealthReport as one-line
+///                           JSON (tools/floorhealth.py reads it)
+///   --prom FILE             write the final metrics snapshot in
+///                           Prometheus text exposition format
+/// --watchdog-ms / --incident-dir / --health-json imply --health; any
+/// telemetry or health flag implies the live-session path (as if
+/// --stream). Telemetry and health observe only: the deterministic
+/// summary is byte-identical with these flags on or off.
 
 #include <atomic>
 #include <chrono>
@@ -46,6 +60,7 @@
 #include "floor/job_factory.hpp"
 #include "floor/session.hpp"
 #include "floor/test_floor.hpp"
+#include "obs/prometheus.hpp"
 #include "util/cli.hpp"
 
 namespace {
@@ -56,7 +71,9 @@ constexpr const char* kOptionsHelp =
     " [--strategy single|per_core|greedy|phased|exact|branch_bound]"
     " [--patterns-per-ff K] [--queue-capacity Q] [--cache C]"
     " [--sim-threads T] [--sweep-sim] [--stream] [--summary]"
-    " [--stats-json FILE] [--trace FILE] [--stats-interval-ms N]";
+    " [--stats-json FILE] [--trace FILE] [--stats-interval-ms N]"
+    " [--health] [--health-interval-ms N] [--watchdog-ms N]"
+    " [--incident-dir DIR] [--health-json FILE] [--prom FILE]";
 
 /// Periodic stats tail: a helper thread that prints
 /// session.stats_snapshot().to_json() to stderr every interval until
@@ -104,11 +121,30 @@ struct TelemetryOptions {
   std::string stats_json;       ///< final snapshot file; empty = off
   std::string trace_file;       ///< Chrome trace file; empty = off
   std::size_t interval_ms = 0;  ///< live stderr tail period; 0 = off
+  bool health = false;          ///< run + print the health engine
+  std::string health_json;      ///< final HealthReport file; empty = off
+  std::string prom_file;        ///< Prometheus exposition file; empty = off
 
   [[nodiscard]] bool any() const {
-    return !stats_json.empty() || !trace_file.empty() || interval_ms > 0;
+    return !stats_json.empty() || !trace_file.empty() || interval_ms > 0 ||
+           health || !prom_file.empty();
   }
 };
+
+/// Post-drain health settle: with the floor idle every rule's raw verdict
+/// is calm, so forced health_report() ticks (each one a hysteresis
+/// sample) walk tripped rules back down — critical -> warn -> ok needs
+/// clear_k consecutive calm samples per step. Returns the final report.
+casbus::floor::HealthReport settle_health(
+    casbus::floor::FloorSession& session,
+    const casbus::floor::HysteresisConfig& hc) {
+  const std::size_t bound = hc.window_n + 2 * hc.clear_k + 4;
+  casbus::floor::HealthReport report = session.health_report();
+  for (std::size_t i = 0;
+       i < bound && report.overall != casbus::floor::HealthLevel::kOk; ++i)
+    report = session.health_report();
+  return report;
+}
 
 /// Streaming mode: submit jobs one by one into the live session (the
 /// bounded queue throttles the producer) and print each result as the
@@ -163,6 +199,33 @@ casbus::floor::FloorReport run_streaming(
       std::cerr << "cannot write trace to " << telemetry.trace_file
                 << "\n";
   }
+  if (telemetry.health) {
+    const HealthReport health =
+        settle_health(session, config.health.hysteresis);
+    std::cout << health.to_string() << "\n";
+    if (!telemetry.health_json.empty()) {
+      std::ofstream out(telemetry.health_json);
+      if (out) {
+        out << health.to_json() << "\n";
+        std::cout << "health report written to " << telemetry.health_json
+                  << "\n";
+      } else {
+        std::cerr << "cannot write health report to "
+                  << telemetry.health_json << "\n";
+      }
+    }
+  }
+  if (!telemetry.prom_file.empty()) {
+    std::ofstream out(telemetry.prom_file);
+    if (out && session.registry() != nullptr) {
+      out << casbus::obs::to_prometheus(session.registry()->snapshot());
+      std::cout << "prometheus exposition written to "
+                << telemetry.prom_file << "\n";
+    } else {
+      std::cerr << "cannot write prometheus exposition to "
+                << telemetry.prom_file << "\n";
+    }
+  }
   return report;
 }
 
@@ -206,6 +269,15 @@ int main(int argc, char** argv) {
       else if (cli.is("--trace")) telemetry.trace_file = cli.value();
       else if (cli.is("--stats-interval-ms"))
         telemetry.interval_ms = std::stoul(cli.value());
+      else if (cli.is("--health")) telemetry.health = cli.boolean();
+      else if (cli.is("--health-interval-ms"))
+        config.health.interval_ms = std::stoul(cli.value());
+      else if (cli.is("--watchdog-ms"))
+        config.health.watchdog_ms = std::stoul(cli.value());
+      else if (cli.is("--incident-dir"))
+        config.health.incident_dir = cli.value();
+      else if (cli.is("--health-json")) telemetry.health_json = cli.value();
+      else if (cli.is("--prom")) telemetry.prom_file = cli.value();
       else cli.fail();
     }
   } catch (const std::exception& e) {
@@ -213,12 +285,19 @@ int main(int argc, char** argv) {
     cli.fail();
   }
 
+  // A watchdog deadline, an incident dir, or a health-json target only
+  // make sense with the health engine running.
+  telemetry.health = telemetry.health || config.health.watchdog_ms > 0 ||
+                     !config.health.incident_dir.empty() ||
+                     !telemetry.health_json.empty();
   if (telemetry.any()) {
     // The stats/trace surfaces live on FloorSession, so telemetry runs
     // the live-session path even without --stream (job-by-job printing
     // stays opt-in via --stream).
     config.metrics = !telemetry.stats_json.empty() ||
-                     telemetry.interval_ms > 0;
+                     telemetry.interval_ms > 0 ||
+                     !telemetry.prom_file.empty();
+    config.health.enabled = telemetry.health;
     if (!telemetry.trace_file.empty()) {
       // One job-level span plus at most one span per pipeline stage per
       // job; cached jobs record fewer. Sized exactly so a full run never

@@ -1,0 +1,272 @@
+/// \file health.hpp
+/// The floor's health engine: a declarative SLO rule catalogue evaluated
+/// against periodic FloorStats samples, debounced by per-rule hysteresis,
+/// plus the flight recorder that captures evidence on critical
+/// transitions.
+///
+/// ## The loop
+/// PR 8 made the floor inspectable; this layer makes it *judged*. An
+/// obs::TimeSeriesSampler tick drives FloorSession::health_tick():
+///
+///     sample (stats_snapshot) ──▶ HealthMonitor::evaluate
+///        ──▶ per-rule hysteresis (ok → warn → critical)
+///        ──▶ HealthReport (+ transition events)
+///        ──▶ on any critical transition: write_incident_bundle()
+///
+/// ## Rule catalogue (stable ids, verify-style — see src/verify/report.hpp)
+/// | id    | name             | watches                                   |
+/// |-------|------------------|-------------------------------------------|
+/// | HL001 | queue-saturation | queue depth / capacity fill ratio          |
+/// | HL002 | backpressure     | producer blocking rate (engages/s)         |
+/// | HL003 | stage-latency    | per-stage p99 vs configured ceilings       |
+/// | HL004 | error-rate       | windowed errored/completed ratio           |
+/// | HL005 | cache-hit-rate   | windowed cache hit-rate vs floor           |
+/// | HL006 | worker-watchdog  | max in-flight job age vs deadline          |
+/// | HL007 | trace-drops      | trace spans dropped in the window          |
+///
+/// Ids are part of the observable API (CI smoke and dashboards key on
+/// them): never renumber — add HL008… and retire in docs/OBSERVABILITY.md.
+///
+/// ## Hysteresis semantics
+/// Raw per-sample verdicts flap (one slow job, one depth spike). Each rule
+/// owns a Hysteresis state machine: the debounced level *escalates* to L
+/// only when at least `trip_m` of the last `window_n` raw samples were at
+/// or above L, and *steps down one level* only after `clear_k`
+/// consecutive raw samples strictly below the current level (then the
+/// sample window resets, so an old burst cannot immediately re-trip).
+/// Alarms are therefore M-of-N to trip and K-consecutive to clear —
+/// deliberately asymmetric: slow to panic, slower to all-clear.
+///
+/// ## Determinism & threading
+/// The monitor only reads FloorStats — nothing feeds back into job
+/// execution, so deterministic_summary() is byte-identical with health on
+/// or off (tests/test_health.cpp pins this, TSan leg included). evaluate()
+/// is internally serialized; every accessor is safe from any thread.
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "floor/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace casbus::floor {
+
+enum class HealthLevel : std::uint8_t { kOk = 0, kWarn = 1, kCritical = 2 };
+
+[[nodiscard]] const char* health_level_name(HealthLevel level);
+
+enum class HealthRule : std::uint8_t {
+  kQueueSaturation = 0,  ///< HL001
+  kBackpressure = 1,     ///< HL002
+  kStageLatency = 2,     ///< HL003
+  kErrorRate = 3,        ///< HL004
+  kCacheHitRate = 4,     ///< HL005
+  kWorkerWatchdog = 5,   ///< HL006
+  kTraceDrops = 6,       ///< HL007
+};
+
+inline constexpr std::size_t kHealthRuleCount = 7;
+
+/// Stable diagnostic id ("HL001") — the key CI and dashboards match on.
+[[nodiscard]] const char* health_rule_id(HealthRule rule);
+/// Human-stable short name ("queue-saturation").
+[[nodiscard]] const char* health_rule_name(HealthRule rule);
+
+/// Debounce parameters shared by every rule (see file comment).
+struct HysteresisConfig {
+  std::size_t trip_m = 3;    ///< raw samples at >= L within window_n to trip
+  std::size_t window_n = 5;  ///< raw-sample window considered for tripping
+  std::size_t clear_k = 5;   ///< consecutive calmer samples to step down
+};
+
+/// One rule's debounced state machine. update() feeds one raw verdict and
+/// returns the (possibly unchanged) debounced level. Not thread-safe —
+/// HealthMonitor serializes access.
+class Hysteresis {
+ public:
+  explicit Hysteresis(HysteresisConfig config = {});
+
+  HealthLevel update(HealthLevel raw);
+  [[nodiscard]] HealthLevel state() const noexcept { return state_; }
+  void reset();
+
+ private:
+  HysteresisConfig config_;
+  std::deque<HealthLevel> recent_;  ///< last window_n raw verdicts
+  std::size_t calm_ = 0;            ///< consecutive raws below state_
+  HealthLevel state_ = HealthLevel::kOk;
+};
+
+/// Thresholds and switches for the whole catalogue. Defaults are
+/// conservative (a floor with default config and no injected trouble stays
+/// `ok`); 0-valued thresholds disable their rule where noted.
+struct HealthConfig {
+  /// Master switch — FloorConfig::health.enabled turns the session's
+  /// sampler + monitor loop on (and implies the metrics registry).
+  bool enabled = false;
+
+  /// Sampler tick period / retained window (obs::SamplerConfig).
+  std::size_t interval_ms = 250;
+  std::size_t window = 240;
+
+  HysteresisConfig hysteresis{};
+
+  /// Samples of history the monitor keeps for windowed rates (HL002/4/5/7).
+  std::size_t rate_window = 8;
+
+  // HL001 queue-saturation (disabled when the queue is unbounded).
+  double queue_warn_fill = 0.80;
+  double queue_critical_fill = 0.95;
+
+  // HL002 backpressure (warn-only).
+  double backpressure_warn_per_sec = 1.0;
+
+  // HL003 stage-latency: per-stage p99 ceilings in µs, indexed by Stage;
+  // 0 disables that stage's check (all-zero disables the rule). Warn at
+  // the ceiling, critical at 2x.
+  std::array<double, kStageCount> stage_p99_ceiling_us{};
+
+  // HL004 error-rate over the rate window; idle below min_jobs delta.
+  double error_warn_rate = 0.05;
+  double error_critical_rate = 0.50;
+  std::uint64_t error_min_jobs = 4;
+
+  // HL005 cache-hit-rate floor over the rate window (0 disables); warn
+  // below the floor, critical below half of it; idle below min lookups.
+  double cache_hit_floor = 0.0;
+  std::uint64_t cache_min_lookups = 16;
+
+  // HL006 worker-watchdog: max in-flight job age. 0 disables. Warn at
+  // half the deadline, critical past it.
+  std::size_t watchdog_ms = 0;
+
+  /// Flight recorder target; empty disables incident bundles.
+  std::string incident_dir;
+  /// Bundles written per session at most (evidence, not a log stream).
+  std::size_t max_incidents = 8;
+};
+
+/// One rule's slice of a HealthReport.
+struct RuleStatus {
+  HealthRule rule{};
+  bool enabled = true;        ///< false: rule cannot fire with this config
+  HealthLevel raw = HealthLevel::kOk;    ///< this sample's verdict
+  HealthLevel level = HealthLevel::kOk;  ///< debounced state
+  double value = 0.0;         ///< the measured quantity (rule-specific)
+  double threshold = 0.0;     ///< the warn threshold it is judged against
+  std::string message;        ///< non-empty when raw != ok
+};
+
+/// One debounced level transition (the alarm stream).
+struct HealthEvent {
+  std::uint64_t sample = 0;  ///< evaluation number of the transition
+  double t_seconds = 0.0;
+  HealthRule rule{};
+  HealthLevel from = HealthLevel::kOk;
+  HealthLevel to = HealthLevel::kOk;
+  double value = 0.0;
+  std::string message;
+};
+
+/// The structured product of one evaluation: every rule's status, the
+/// overall (max) level, and the bounded transition log so far.
+struct HealthReport {
+  double t_seconds = 0.0;
+  std::uint64_t samples = 0;  ///< evaluations so far
+  HealthLevel overall = HealthLevel::kOk;
+  std::array<RuleStatus, kHealthRuleCount> rules{};
+  std::vector<HealthEvent> events;  ///< bounded (drop-oldest) transitions
+  std::uint64_t incidents_written = 0;
+
+  [[nodiscard]] const RuleStatus& rule(HealthRule r) const {
+    return rules[static_cast<std::size_t>(r)];
+  }
+
+  /// One JSON object with stable keys; the `--health-json` wire format
+  /// tools/floorhealth.py consumes.
+  [[nodiscard]] std::string to_json() const;
+  /// Human summary: one header line plus one line per non-ok rule.
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Evaluates the catalogue against successive FloorStats samples. Owns the
+/// per-rule hysteresis and the rate-window history, so it is usable
+/// standalone (feed synthetic FloorStats in tests) — FloorSession wires it
+/// to the sampler thread. Thread-safe.
+class HealthMonitor {
+ public:
+  explicit HealthMonitor(HealthConfig config = {});
+
+  /// Feeds one sample taken at \p t_seconds (monotonic, seconds since the
+  /// session epoch) and returns the resulting report.
+  HealthReport evaluate(const FloorStats& stats, double t_seconds);
+
+  /// Copy of the report from the most recent evaluate() (default-valued
+  /// before the first).
+  [[nodiscard]] HealthReport last_report() const;
+
+  [[nodiscard]] std::uint64_t evaluations() const;
+
+  /// The flight recorder (driven by the session) reports bundles written
+  /// here so they appear in subsequent reports.
+  void record_incidents(std::uint64_t n);
+
+  [[nodiscard]] const HealthConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  /// Minimal per-sample history point for windowed rates.
+  struct Point {
+    double t = 0.0;
+    std::uint64_t completed = 0;
+    std::uint64_t errored = 0;
+    std::uint64_t bp_engages = 0;
+    std::uint64_t cache_lookups = 0;
+    std::uint64_t cache_hits = 0;
+    std::uint64_t trace_dropped = 0;
+  };
+
+  RuleStatus eval_rule_locked(HealthRule rule, const FloorStats& stats,
+                              const Point& oldest, const Point& newest,
+                              bool have_window) const;
+
+  const HealthConfig config_;
+
+  mutable std::mutex mu_;
+  std::array<Hysteresis, kHealthRuleCount> hysteresis_;
+  std::deque<Point> history_;  ///< bounded by config_.rate_window
+  std::uint64_t evaluations_ = 0;
+  std::uint64_t incidents_ = 0;
+  HealthReport last_;
+};
+
+/// Everything one incident bundle freezes. Strings are pre-serialized by
+/// the caller (the session holds the locks needed to produce them).
+struct IncidentInputs {
+  std::string rule_id;          ///< firing rule, e.g. "HL006"
+  double t_seconds = 0.0;
+  std::string stats_json;       ///< FloorStats::to_json()
+  std::string health_json;      ///< HealthReport::to_json()
+  std::string timeseries_json;  ///< sampler window_json(); may be empty
+  const obs::TraceRecorder* trace = nullptr;  ///< optional Chrome trace
+};
+
+/// Atomically materializes `<dir>/incident_<seq>_<rule_id>/` containing
+/// MANIFEST.json, stats.json, health.json, and (when provided)
+/// timeseries.json + trace.json. Writes into a hidden temp directory and
+/// renames into place, so a bundle either exists completely or not at all.
+/// Returns false (and cleans up the temp) on any filesystem error. If
+/// \p out_path is non-null it receives the final bundle path on success.
+[[nodiscard]] bool write_incident_bundle(const std::string& dir,
+                                         std::uint64_t seq,
+                                         const IncidentInputs& inputs,
+                                         std::string* out_path = nullptr);
+
+}  // namespace casbus::floor

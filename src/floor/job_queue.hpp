@@ -58,6 +58,7 @@ struct SlottedJob {
 /// except depth.
 struct QueueStats {
   std::size_t depth = 0;        ///< jobs waiting right now
+  std::size_t capacity = 0;     ///< configured bound (0 = unbounded)
   std::size_t high_water = 0;   ///< max depth ever reached
   std::size_t pushed = 0;       ///< jobs accepted so far
   std::size_t popped = 0;       ///< jobs handed to workers so far
@@ -168,6 +169,7 @@ class JobQueue {
     const std::lock_guard<std::mutex> lock(mu_);
     QueueStats s;
     s.depth = size_;
+    s.capacity = capacity_;
     s.high_water = high_water_;
     s.pushed = next_slot_;
     s.popped = popped_;

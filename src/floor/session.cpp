@@ -7,12 +7,22 @@
 
 namespace casbus::floor {
 
+namespace {
+
+/// Sentinel in job_start_us_: this worker has no job in flight.
+constexpr std::uint64_t kWorkerIdle = ~std::uint64_t{0};
+
+}  // namespace
+
 FloorSession::FloorSession(FloorConfig config)
-    : config_(config),
-      workers_(effective_workers(config.workers)),
-      queue_(workers_, config.queue_capacity),
+    : config_(std::move(config)),
+      workers_(effective_workers(config_.workers)),
+      queue_(workers_, config_.queue_capacity),
       start_(std::chrono::steady_clock::now()) {
-  if (config_.metrics) {
+  // Health implies metrics: the rule catalogue reads registry-backed
+  // counters (cache tiers, stage p99s), so enabling the monitor without
+  // the registry would judge zeros.
+  if (config_.metrics || config_.health.enabled) {
     registry_ = std::make_unique<obs::Registry>();
     ids_ = register_floor_metrics(*registry_);
     // Pull-based gauges: sampled only at snapshot() time, so the hot
@@ -30,13 +40,30 @@ FloorSession::FloorSession(FloorConfig config)
   if (config_.trace_capacity > 0)
     trace_ = std::make_unique<obs::TraceRecorder>(config_.trace_capacity);
   busy_us_ = std::make_unique<std::atomic<std::uint64_t>[]>(workers_);
-  for (std::size_t w = 0; w < workers_; ++w) busy_us_[w].store(0);
+  job_start_us_ = std::make_unique<std::atomic<std::uint64_t>[]>(workers_);
+  heartbeats_ = std::make_unique<std::atomic<std::uint64_t>[]>(workers_);
+  for (std::size_t w = 0; w < workers_; ++w) {
+    busy_us_[w].store(0);
+    job_start_us_[w].store(kWorkerIdle);
+    heartbeats_[w].store(0);
+  }
   pool_.reserve(workers_);
   for (std::size_t w = 0; w < workers_; ++w)
     pool_.emplace_back([this, w] { worker_main(w); });
+  if (config_.health.enabled) {
+    health_ = std::make_unique<HealthMonitor>(config_.health);
+    sampler_ = std::make_unique<obs::TimeSeriesSampler>(
+        *registry_, obs::SamplerConfig{config_.health.interval_ms,
+                                       config_.health.window});
+    // One thread drives the whole sample -> evaluate -> alarm loop.
+    sampler_->start([this] { health_tick(); });
+  }
 }
 
 FloorSession::~FloorSession() {
+  // Stop the health loop before tearing the floor down: a tick mid-join
+  // is safe (stats_snapshot() is), but pointless.
+  if (sampler_ != nullptr) sampler_->stop();
   queue_.close();
   for (std::thread& t : pool_)
     if (t.joinable()) t.join();
@@ -100,10 +127,24 @@ FloorStats FloorSession::stats_snapshot() const {
     stats.errored = errored_;
   }
   stats.worker_busy_seconds.resize(workers_, 0.0);
-  for (std::size_t w = 0; w < workers_; ++w)
+  stats.worker_inflight_age_seconds.resize(workers_, 0.0);
+  stats.worker_heartbeats.resize(workers_, 0);
+  const std::uint64_t now_us = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+  for (std::size_t w = 0; w < workers_; ++w) {
     stats.worker_busy_seconds[w] =
         static_cast<double>(busy_us_[w].load(std::memory_order_relaxed)) *
         1e-6;
+    stats.worker_heartbeats[w] =
+        heartbeats_[w].load(std::memory_order_relaxed);
+    const std::uint64_t started =
+        job_start_us_[w].load(std::memory_order_relaxed);
+    if (started != kWorkerIdle && now_us > started)
+      stats.worker_inflight_age_seconds[w] =
+          static_cast<double>(now_us - started) * 1e-6;
+  }
   if (trace_ != nullptr) {
     stats.trace_recorded = trace_->recorded();
     stats.trace_dropped = trace_->dropped();
@@ -162,13 +203,21 @@ void FloorSession::worker_main(std::size_t worker) {
 
   while (std::optional<SlottedJob> job = queue_.pop(worker)) {
     in_flight_.fetch_add(1, std::memory_order_relaxed);
+    heartbeats_[worker].fetch_add(1, std::memory_order_relaxed);
     obs.slot = job->slot;
     const auto start = std::chrono::steady_clock::now();
+    job_start_us_[worker].store(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(start -
+                                                                  start_)
+                .count()),
+        std::memory_order_relaxed);
     JobResult result =
         run_job(job->spec, cache_ptr, config_.verify,
                 JobSimOptions{config_.event_sim, config_.sim_threads},
                 obs);
     const auto end = std::chrono::steady_clock::now();
+    job_start_us_[worker].store(kWorkerIdle, std::memory_order_relaxed);
     result.wall_seconds =
         std::chrono::duration<double>(end - start).count();
     busy_us_[worker].fetch_add(
@@ -190,6 +239,45 @@ void FloorSession::worker_main(std::size_t worker) {
     if (errored) ++errored_;
     in_flight_.fetch_sub(1, std::memory_order_relaxed);
   }
+}
+
+void FloorSession::health_tick() {
+  const std::lock_guard<std::mutex> lock(health_tick_mu_);
+  if (health_ == nullptr) return;
+  const FloorStats stats = stats_snapshot();
+  const HealthReport report = health_->evaluate(stats, stats.uptime_seconds);
+
+  // Flight recorder: one bundle per new critical transition, capped at
+  // max_incidents (evidence, not a log stream).
+  std::uint64_t written = 0;
+  if (!config_.health.incident_dir.empty()) {
+    for (const HealthEvent& ev : report.events) {
+      if (ev.sample <= handled_sample_) continue;
+      if (ev.to != HealthLevel::kCritical) continue;
+      if (incidents_written_ >= config_.health.max_incidents) break;
+      IncidentInputs inputs;
+      inputs.rule_id = health_rule_id(ev.rule);
+      inputs.t_seconds = ev.t_seconds;
+      inputs.stats_json = stats.to_json();
+      inputs.health_json = report.to_json();
+      inputs.timeseries_json = sampler_->window_json();
+      inputs.trace = trace_.get();
+      if (write_incident_bundle(config_.health.incident_dir,
+                                incidents_written_, inputs)) {
+        ++incidents_written_;
+        ++written;
+      }
+    }
+  }
+  handled_sample_ = report.samples;
+  if (written > 0) health_->record_incidents(written);
+}
+
+HealthReport FloorSession::health_report() {
+  if (health_ == nullptr) return HealthReport{};
+  sampler_->sample_now();
+  health_tick();
+  return health_->last_report();
 }
 
 }  // namespace casbus::floor

@@ -42,11 +42,13 @@
 #include <thread>
 #include <vector>
 
+#include "floor/health.hpp"
 #include "floor/job.hpp"
 #include "floor/job_queue.hpp"
 #include "floor/report.hpp"
 #include "floor/telemetry.hpp"
 #include "obs/metrics.hpp"
+#include "obs/timeseries.hpp"
 #include "obs/trace.hpp"
 
 namespace casbus::floor {
@@ -99,6 +101,13 @@ struct FloorConfig {
   /// tracing. Spans past capacity are counted and dropped — tracing never
   /// blocks a worker. Same determinism guarantee as `metrics`.
   std::size_t trace_capacity = 0;
+  /// The health engine (health.hpp): when health.enabled, the session runs
+  /// an obs::TimeSeriesSampler whose tick drives a HealthMonitor over
+  /// stats_snapshot(), exposed via health_report(), and implies `metrics`
+  /// (the rules read registry-backed counters). Same determinism guarantee
+  /// as `metrics` — the monitor only observes (tests/test_health.cpp pins
+  /// deterministic_summary() on/off equality, TSan-checked).
+  HealthConfig health{};
 };
 
 /// A live streaming session. Not copyable or movable: workers hold `this`.
@@ -169,6 +178,19 @@ class FloorSession {
   /// The session's trace recorder, or null when trace_capacity is 0.
   [[nodiscard]] obs::TraceRecorder* trace() noexcept { return trace_.get(); }
 
+  /// The health sampler, or null when FloorConfig::health is off.
+  [[nodiscard]] obs::TimeSeriesSampler* sampler() noexcept {
+    return sampler_.get();
+  }
+
+  /// Forces one sample + health evaluation *now* and returns the
+  /// resulting report — deterministic-by-construction for tests and CLI
+  /// consumers (no sleeping for the background tick; forced ticks count
+  /// as hysteresis samples, so repeated calls walk rules through their
+  /// trip/clear transitions). Default-valued report when health is off.
+  /// Safe from any thread, concurrently with the background tick.
+  [[nodiscard]] HealthReport health_report();
+
   /// Writes the pipeline trace as Chrome trace-event JSON. False when
   /// tracing is off or the file cannot be written. Intended after
   /// drain(), but safe (published spans only) at any time.
@@ -178,6 +200,10 @@ class FloorSession {
 
  private:
   void worker_main(std::size_t worker);
+
+  /// One sample -> evaluate -> alarm pass (the sampler tick callback and
+  /// the forced half of health_report()). Serialized internally.
+  void health_tick();
 
   FloorConfig config_;
   std::size_t workers_;
@@ -192,6 +218,11 @@ class FloorSession {
   /// while workers accumulate. unique_ptr array: atomics can't live in a
   /// resizable vector.
   std::unique_ptr<std::atomic<std::uint64_t>[]> busy_us_;
+  /// Watchdog inputs: when worker w has a job in flight,
+  /// job_start_us_[w] is its start time (µs since start_); kWorkerIdle
+  /// otherwise. heartbeats_[w] counts jobs popped by worker w.
+  std::unique_ptr<std::atomic<std::uint64_t>[]> job_start_us_;
+  std::unique_ptr<std::atomic<std::uint64_t>[]> heartbeats_;
   std::atomic<std::uint64_t> in_flight_{0};
   std::vector<std::thread> pool_;
   bool drained_ = false;
@@ -203,6 +234,15 @@ class FloorSession {
   std::size_t errored_ = 0;    ///< completed jobs with non-empty error
   std::size_t next_poll_ = 0;  ///< first slot not yet handed to poll
   bool harvested_ = false;     ///< drain() took the results vector
+
+  // Health engine (after registry_: the sampler references the registry
+  // and must be destroyed first; the destructor also stops it explicitly
+  // before joining the pool).
+  std::unique_ptr<HealthMonitor> health_;  ///< null when health off
+  std::unique_ptr<obs::TimeSeriesSampler> sampler_;  ///< null when off
+  std::mutex health_tick_mu_;  ///< serializes forced + background ticks
+  std::uint64_t handled_sample_ = 0;    ///< events up to here processed
+  std::uint64_t incidents_written_ = 0;  ///< bundle seq (guarded above)
 };
 
 }  // namespace casbus::floor

@@ -57,12 +57,17 @@ std::string num(double v) {
 
 std::string FloorStats::to_json() const {
   std::ostringstream os;
+  // elapsed_seconds duplicates uptime_seconds under the name rate
+  // consumers expect (jobs / elapsed_seconds) — single-snapshot tools
+  // (floorstat.py) compute rates without pairing snapshots.
   os << "{\"uptime_seconds\":" << num(uptime_seconds)
+     << ",\"elapsed_seconds\":" << num(uptime_seconds)
      << ",\"workers\":" << workers
      << ",\"metrics_enabled\":" << (metrics_enabled ? "true" : "false")
      << ",\"submitted\":" << submitted << ",\"completed\":" << completed
      << ",\"in_flight\":" << in_flight << ",\"errored\":" << errored
      << ",\"queue\":{\"depth\":" << queue.depth
+     << ",\"capacity\":" << queue.capacity
      << ",\"high_water\":" << queue.high_water
      << ",\"pushed\":" << queue.pushed << ",\"popped\":" << queue.popped
      << ",\"steals\":" << queue.steals
@@ -96,6 +101,16 @@ std::string FloorStats::to_json() const {
   for (std::size_t w = 0; w < worker_busy_seconds.size(); ++w) {
     if (w != 0) os << ',';
     os << num(worker_busy_seconds[w]);
+  }
+  os << "],\"worker_inflight_age_seconds\":[";
+  for (std::size_t w = 0; w < worker_inflight_age_seconds.size(); ++w) {
+    if (w != 0) os << ',';
+    os << num(worker_inflight_age_seconds[w]);
+  }
+  os << "],\"worker_heartbeats\":[";
+  for (std::size_t w = 0; w < worker_heartbeats.size(); ++w) {
+    if (w != 0) os << ',';
+    os << worker_heartbeats[w];
   }
   os << "],\"utilization\":" << num(utilization())
      << ",\"trace\":{\"recorded\":" << trace_recorded

@@ -111,6 +111,13 @@ struct FloorStats {
   // Worker utilization: seconds each worker spent executing jobs.
   std::vector<double> worker_busy_seconds;
 
+  // Watchdog inputs (always live, like the queue — tracked by the session
+  // itself, not the registry). Age of each worker's current in-flight job
+  // in seconds, 0.0 when idle; and each worker's loop heartbeat counter
+  // (one tick per job popped — stagnant + in-flight means stuck).
+  std::vector<double> worker_inflight_age_seconds;
+  std::vector<std::uint64_t> worker_heartbeats;
+
   // Tracing.
   std::uint64_t trace_recorded = 0;
   std::uint64_t trace_dropped = 0;

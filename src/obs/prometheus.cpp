@@ -1,0 +1,77 @@
+#include "obs/prometheus.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace casbus::obs {
+namespace {
+
+/// Prometheus sample values are floats; NaN/inf have spellings but we
+/// never produce them from a snapshot (sums of finite observations), so
+/// map any non-finite defensively to 0.
+std::string prom_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+/// HELP text must not contain raw newlines; our help strings are
+/// generated from the metric name, so just state provenance.
+void write_header(std::ostringstream& os, const std::string& prom,
+                  std::string_view source, std::string_view type) {
+  os << "# HELP " << prom << " casbus metric " << source << '\n';
+  os << "# TYPE " << prom << ' ' << type << '\n';
+}
+
+}  // namespace
+
+std::string prometheus_name(std::string_view name, std::string_view prefix) {
+  std::string out;
+  out.reserve(prefix.size() + name.size());
+  out.append(prefix);
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, 1, '_');
+  return out;
+}
+
+std::string to_prometheus(const Snapshot& snap, std::string_view prefix) {
+  std::ostringstream os;
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string prom = prometheus_name(name, prefix) + "_total";
+    write_header(os, prom, name, "counter");
+    os << prom << ' ' << value << '\n';
+  }
+
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string prom = prometheus_name(name, prefix);
+    write_header(os, prom, name, "gauge");
+    os << prom << ' ' << prom_number(value) << '\n';
+  }
+
+  for (const HistogramSnapshot& h : snap.histograms) {
+    const std::string prom = prometheus_name(h.name, prefix);
+    write_header(os, prom, h.name, "histogram");
+    // Registry buckets are per-bucket counts; Prometheus buckets are
+    // cumulative <= le, ending in the mandatory +Inf == _count.
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += i < h.counts.size() ? h.counts[i] : 0;
+      os << prom << "_bucket{le=\"" << prom_number(h.bounds[i]) << "\"} "
+         << cum << '\n';
+    }
+    os << prom << "_bucket{le=\"+Inf\"} " << h.count << '\n';
+    os << prom << "_sum " << prom_number(h.sum) << '\n';
+    os << prom << "_count " << h.count << '\n';
+  }
+
+  return os.str();
+}
+
+}  // namespace casbus::obs

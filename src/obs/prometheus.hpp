@@ -1,0 +1,48 @@
+/// \file prometheus.hpp
+/// Prometheus text-exposition writer over an obs::Snapshot.
+///
+/// The registry's names ("floor.jobs.executed", "floor.stage.simulate.us")
+/// are dotted; Prometheus metric names are [a-zA-Z_:][a-zA-Z0-9_:]*. The
+/// mapping is mechanical and documented in docs/OBSERVABILITY.md:
+///
+///   - every non-alphanumeric character becomes '_',
+///   - every name gains the "casbus_" prefix,
+///   - counters additionally gain the conventional "_total" suffix,
+///   - histograms expand to the standard triplet: cumulative
+///     `_bucket{le="..."}` lines (the registry's per-bucket counts are
+///     non-cumulative; the writer accumulates), `_sum`, and `_count`.
+///
+/// So `floor.jobs.executed` (counter) exports as
+/// `casbus_floor_jobs_executed_total`, and `floor.stage.simulate.us`
+/// (histogram) as the `casbus_floor_stage_simulate_us_bucket/_sum/_count`
+/// family. The output is a complete exposition body (HELP + TYPE + sample
+/// lines, trailing newline) that `promtool check metrics` accepts;
+/// tools/check_prom.py lints the same invariants in CI.
+///
+/// This is a pure formatter over an already-taken Snapshot — it never
+/// touches a live registry, so it inherits snapshot()'s consistency model
+/// and cannot perturb the floor.
+
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.hpp"
+
+namespace casbus::obs {
+
+/// Registry name -> Prometheus name ("floor.jobs.executed" ->
+/// "casbus_floor_jobs_executed" with the default prefix). Applies the
+/// character mapping and prefix only — kind suffixes (_total, _bucket...)
+/// are the serializer's job.
+[[nodiscard]] std::string prometheus_name(std::string_view name,
+                                          std::string_view prefix = "casbus_");
+
+/// Serializes \p snap as a Prometheus text-exposition body (format
+/// version 0.0.4): counters, gauges, and histograms, each preceded by
+/// # HELP / # TYPE lines, in snapshot (= registration) order.
+[[nodiscard]] std::string to_prometheus(const Snapshot& snap,
+                                        std::string_view prefix = "casbus_");
+
+}  // namespace casbus::obs

@@ -1,0 +1,223 @@
+#include "obs/timeseries.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace casbus::obs {
+namespace {
+
+/// JSON-safe number: finite values only (NaN/inf are invalid JSON).
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  std::ostringstream os;
+  os.precision(12);
+  os << v;
+  return os.str();
+}
+
+}  // namespace
+
+TimeSeriesSampler::TimeSeriesSampler(const Registry& registry,
+                                     SamplerConfig config)
+    : registry_(registry),
+      config_(SamplerConfig{config.interval_ms,
+                            config.window == 0 ? 1 : config.window}),
+      epoch_(std::chrono::steady_clock::now()) {
+  times_.assign(config_.window, 0.0);
+}
+
+TimeSeriesSampler::~TimeSeriesSampler() { stop(); }
+
+void TimeSeriesSampler::start(std::function<void()> on_tick) {
+  const std::lock_guard<std::mutex> lock(thread_mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  on_tick_ = std::move(on_tick);
+  thread_ = std::thread([this] { run(); });
+}
+
+void TimeSeriesSampler::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(thread_mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  // joinable() is safe to test without the lock here: only stop() ever
+  // joins, and concurrent stop() calls are serialized by thread_mu_ above
+  // having published stop_ = true before either reaches join().
+  std::unique_lock<std::mutex> lock(thread_mu_);
+  if (thread_.joinable()) {
+    std::thread t = std::move(thread_);
+    lock.unlock();  // the thread body never takes thread_mu_; join bare
+    t.join();
+  }
+}
+
+void TimeSeriesSampler::run() {
+  std::unique_lock<std::mutex> lock(thread_mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(
+                           config_.interval_ms == 0 ? 1 : config_.interval_ms),
+                 [this] { return stop_; });
+    if (stop_) break;
+    lock.unlock();
+    sample_now();
+    if (on_tick_) on_tick_();
+    lock.lock();
+  }
+}
+
+void TimeSeriesSampler::sample_now() {
+  // Snapshot outside our own critical work is not worth the complexity:
+  // snapshot() takes the registry mutex, ours serializes ticks. Tick cost
+  // is gated (<= 50 µs) so holding mu_ across both is fine.
+  const Snapshot snap = registry_.snapshot();
+  const double t = std::chrono::duration<double>(
+                       std::chrono::steady_clock::now() - epoch_)
+                       .count();
+
+  const std::lock_guard<std::mutex> lock(mu_);
+  // Flatten the snapshot to (name, value) pairs in a stable order.
+  std::size_t series_idx = 0;
+  auto record = [&](const std::string& name, double value) {
+    // Discovery order is registration order, which is stable, so the
+    // positional fast path hits every tick after the first; the fallback
+    // scan only runs when a metric was registered mid-stream.
+    if (series_idx >= series_.size() || series_[series_idx].name != name) {
+      std::size_t found = series_.size();
+      for (std::size_t i = 0; i < series_.size(); ++i) {
+        if (series_[i].name == name) {
+          found = i;
+          break;
+        }
+      }
+      if (found == series_.size()) {
+        Series s;
+        s.name = name;
+        s.ring.assign(config_.window, 0.0);  // zero backfill (see header)
+        series_.push_back(std::move(s));
+      }
+      series_idx = found;
+    }
+    series_[series_idx].ring[head_] = value;
+    ++series_idx;
+  };
+
+  for (const auto& [name, value] : snap.counters)
+    record(name, static_cast<double>(value));
+  for (const auto& [name, value] : snap.gauges) record(name, value);
+  for (const auto& h : snap.histograms) {
+    record(h.name + ".count", static_cast<double>(h.count));
+    record(h.name + ".sum", h.sum);
+    record(h.name + ".p99", h.p99());
+  }
+
+  times_[head_] = t;
+  head_ = (head_ + 1) % config_.window;
+  if (count_ < config_.window) ++count_;
+  ++ticks_;
+}
+
+std::uint64_t TimeSeriesSampler::samples() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return ticks_;
+}
+
+std::size_t TimeSeriesSampler::window_size() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+std::vector<std::string> TimeSeriesSampler::series_names() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(series_.size());
+  for (const Series& s : series_) names.push_back(s.name);
+  return names;
+}
+
+std::vector<std::size_t> TimeSeriesSampler::last_indices_locked(
+    std::size_t n) const {
+  const std::size_t take = (n == 0 || n > count_) ? count_ : n;
+  std::vector<std::size_t> idx;
+  idx.reserve(take);
+  // head_ is the next write slot; the newest sample is head_ - 1.
+  for (std::size_t k = take; k > 0; --k) {
+    idx.push_back((head_ + config_.window - k) % config_.window);
+  }
+  return idx;
+}
+
+const TimeSeriesSampler::Series* TimeSeriesSampler::find_locked(
+    std::string_view name) const {
+  for (const Series& s : series_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+double TimeSeriesSampler::latest(std::string_view name) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const Series* s = find_locked(name);
+  if (s == nullptr || count_ == 0) return 0.0;
+  return s->ring[(head_ + config_.window - 1) % config_.window];
+}
+
+double TimeSeriesSampler::delta(std::string_view name, std::size_t n) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const Series* s = find_locked(name);
+  if (s == nullptr || count_ < 2) return 0.0;
+  const auto idx = last_indices_locked(n);
+  if (idx.size() < 2) return 0.0;
+  return s->ring[idx.back()] - s->ring[idx.front()];
+}
+
+double TimeSeriesSampler::rate_per_sec(std::string_view name,
+                                       std::size_t n) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const Series* s = find_locked(name);
+  if (s == nullptr || count_ < 2) return 0.0;
+  const auto idx = last_indices_locked(n);
+  if (idx.size() < 2) return 0.0;
+  const double dt = times_[idx.back()] - times_[idx.front()];
+  if (dt <= 1e-9) return 0.0;
+  return (s->ring[idx.back()] - s->ring[idx.front()]) / dt;
+}
+
+std::vector<std::pair<double, double>> TimeSeriesSampler::window(
+    std::string_view name, std::size_t n) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<double, double>> out;
+  const Series* s = find_locked(name);
+  if (s == nullptr) return out;
+  const auto idx = last_indices_locked(n);
+  out.reserve(idx.size());
+  for (const std::size_t i : idx) out.emplace_back(times_[i], s->ring[i]);
+  return out;
+}
+
+std::string TimeSeriesSampler::window_json(std::size_t n) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto idx = last_indices_locked(n);
+  std::ostringstream os;
+  os << "{\"samples\":" << idx.size()
+     << ",\"interval_ms\":" << config_.interval_ms << ",\"t\":[";
+  for (std::size_t k = 0; k < idx.size(); ++k) {
+    if (k != 0) os << ',';
+    os << json_number(times_[idx[k]]);
+  }
+  os << "],\"series\":{";
+  for (std::size_t si = 0; si < series_.size(); ++si) {
+    if (si != 0) os << ',';
+    os << '"' << series_[si].name << "\":[";
+    for (std::size_t k = 0; k < idx.size(); ++k) {
+      if (k != 0) os << ',';
+      os << json_number(series_[si].ring[idx[k]]);
+    }
+    os << ']';
+  }
+  os << "}}";
+  return os.str();
+}
+
+}  // namespace casbus::obs

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cmath>
 #include <cstddef>
 #include <fstream>
 #include <sstream>
@@ -18,6 +19,7 @@
 #include "floor/session.hpp"
 #include "floor/telemetry.hpp"
 #include "obs/metrics.hpp"
+#include "obs/prometheus.hpp"
 #include "obs/trace.hpp"
 
 namespace casbus::obs {
@@ -126,6 +128,119 @@ TEST(Registry, HistogramOverflowReportsLastBound) {
   ASSERT_NE(hist, nullptr);
   EXPECT_EQ(hist->count, 1u);
   EXPECT_DOUBLE_EQ(hist->p99(), 2.0);  // clamped to the last finite bound
+}
+
+// --- Registry: histogram percentile edge cases ------------------------------
+// The health engine divides and compares these values, so the contract is
+// "never NaN, never negative, always clamped" at every degenerate input.
+
+TEST(Registry, EmptyHistogramPercentilesAreZeroNotNaN) {
+  HistogramSnapshot empty;
+  empty.bounds = {1.0, 10.0};
+  empty.counts = {0, 0, 0};
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double p = empty.percentile(q);
+    EXPECT_TRUE(std::isfinite(p)) << "q=" << q;
+    EXPECT_DOUBLE_EQ(p, 0.0) << "q=" << q;
+  }
+}
+
+TEST(Registry, AllOverflowSamplesClampToLastBound) {
+  Registry registry;
+  const MetricId h = registry.histogram("lat", {1.0, 5.0, 25.0});
+  for (int i = 0; i < 64; ++i) registry.observe(h, 1e9);
+  const Snapshot snap = registry.snapshot();
+  const HistogramSnapshot* hist = snap.histogram("lat");
+  ASSERT_NE(hist, nullptr);
+  // Every quantile of an all-overflow population reports the overflow
+  // bucket's (finite) lower bound — monotone, finite, never 1e9.
+  for (const double q : {0.0, 0.01, 0.5, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(hist->percentile(q), 25.0) << "q=" << q;
+  }
+}
+
+TEST(Registry, SingleSamplePercentilesStayFiniteAndClamped) {
+  Registry registry;
+  const MetricId h = registry.histogram("lat", {10.0, 100.0});
+  registry.observe(h, 3.0);  // one sample in the first bucket
+  const Snapshot snap = registry.snapshot();
+  const HistogramSnapshot* hist = snap.histogram("lat");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, 1u);
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double p = hist->percentile(q);
+    EXPECT_TRUE(std::isfinite(p)) << "q=" << q;
+    EXPECT_GE(p, 0.0) << "q=" << q;
+    EXPECT_LE(p, 10.0) << "q=" << q;  // never past the bucket it sits in
+  }
+  // Out-of-range quantiles clamp instead of extrapolating.
+  EXPECT_GE(hist->percentile(-1.0), 0.0);
+  EXPECT_LE(hist->percentile(2.0), 10.0);
+}
+
+TEST(Registry, BoundlessHistogramPercentileIsZero) {
+  // Every observation of a bounds-free histogram lands in the overflow
+  // bucket, which has no finite lower bound to report.
+  HistogramSnapshot hist;
+  hist.counts = {5};
+  hist.count = 5;
+  hist.sum = 50.0;
+  EXPECT_DOUBLE_EQ(hist.percentile(0.99), 0.0);
+  EXPECT_TRUE(std::isfinite(hist.percentile(0.5)));
+}
+
+// --- Prometheus exposition --------------------------------------------------
+
+TEST(Prometheus, NameMappingSanitizesAndPrefixes) {
+  EXPECT_EQ(prometheus_name("floor.jobs.executed"),
+            "casbus_floor_jobs_executed");
+  EXPECT_EQ(prometheus_name("floor.stage.simulate.us"),
+            "casbus_floor_stage_simulate_us");
+  EXPECT_EQ(prometheus_name("weird-name!", "p_"), "p_weird_name_");
+}
+
+TEST(Prometheus, CountersGaugesAndHistogramsSerialize) {
+  Registry registry;
+  // Register everything before the first write: this thread's shard is
+  // sized at its first add/observe, so metrics registered later would
+  // have no cells here (the documented late-registration semantic).
+  const MetricId c = registry.counter("floor.jobs.executed");
+  registry.gauge("floor.queue.depth", [] { return 3.5; });
+  const MetricId h = registry.histogram("floor.stage.build.us", {1.0, 10.0});
+  registry.add(c, 42);
+  registry.observe(h, 0.5);
+  registry.observe(h, 5.0);
+  registry.observe(h, 100.0);  // overflow
+
+  const std::string text = to_prometheus(registry.snapshot());
+  EXPECT_NE(text.find("# TYPE casbus_floor_jobs_executed_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("casbus_floor_jobs_executed_total 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE casbus_floor_queue_depth gauge\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("casbus_floor_queue_depth 3.5\n"), std::string::npos);
+  // Histogram buckets are cumulative and end in +Inf == _count.
+  EXPECT_NE(text.find("casbus_floor_stage_build_us_bucket{le=\"1\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("casbus_floor_stage_build_us_bucket{le=\"10\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(
+      text.find("casbus_floor_stage_build_us_bucket{le=\"+Inf\"} 3\n"),
+      std::string::npos);
+  EXPECT_NE(text.find("casbus_floor_stage_build_us_count 3\n"),
+            std::string::npos);
+  // Every HELP line precedes its TYPE line, and the body ends in a
+  // newline (the exposition format requires it).
+  EXPECT_LT(text.find("# HELP casbus_floor_jobs_executed_total"),
+            text.find("# TYPE casbus_floor_jobs_executed_total"));
+  ASSERT_FALSE(text.empty());
+  EXPECT_EQ(text.back(), '\n');
+}
+
+TEST(Prometheus, EmptySnapshotSerializesToEmptyBody) {
+  Registry registry;
+  EXPECT_TRUE(to_prometheus(registry.snapshot()).empty());
 }
 
 TEST(Registry, LatencyLadderIsAscending) {

@@ -110,6 +110,8 @@ OBS_REQUIRED_RECORDS = (
     ("floor_overhead", "off_seconds"),
     ("floor_overhead", "on_seconds"),
     ("floor_overhead", "overhead_frac"),
+    ("sampler", "us_per_tick"),
+    ("health", "us_per_eval"),
 )
 
 OBS_REQUIRED_REGISTRY_OPS = ("add", "observe", "disabled", "record")

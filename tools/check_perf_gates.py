@@ -33,7 +33,11 @@ record the models they guard):
    under the 'obs.max_overhead' cap of the floors file (the <= 5%
    acceptance bar of the observability layer), and the disabled
    instrument site must stay under 'obs.max_disabled_ns' — it compiles
-   to a single null-pointer test and must keep doing so.
+   to a single null-pointer test and must keep doing so. The health
+   engine rides the same artifact: one sampler tick over the full floor
+   catalogue is capped at 'obs.max_sampler_tick_us' and one
+   HealthMonitor evaluation at 'obs.max_health_eval_us', so the
+   background health loop can never grow into a tax on the floor.
 
 Exits non-zero with one line per violated gate.
 """
@@ -136,6 +140,8 @@ def check_thread_scaling(values, problems):
 
 DEFAULT_OBS_MAX_OVERHEAD = 0.05
 DEFAULT_OBS_MAX_DISABLED_NS = 5.0
+DEFAULT_OBS_MAX_SAMPLER_TICK_US = 50.0
+DEFAULT_OBS_MAX_HEALTH_EVAL_US = 50.0
 
 
 def check_obs_overhead(path, floors_path, problems):
@@ -146,16 +152,24 @@ def check_obs_overhead(path, floors_path, problems):
             "obs", {})
     max_overhead = caps.get("max_overhead", DEFAULT_OBS_MAX_OVERHEAD)
     max_disabled = caps.get("max_disabled_ns", DEFAULT_OBS_MAX_DISABLED_NS)
+    max_tick = caps.get("max_sampler_tick_us", DEFAULT_OBS_MAX_SAMPLER_TICK_US)
+    max_eval = caps.get("max_health_eval_us", DEFAULT_OBS_MAX_HEALTH_EVAL_US)
 
     doc = json.loads(pathlib.Path(path).read_text())
     overhead = None
     disabled_ns = None
+    tick_us = None
+    eval_us = None
     for rec in doc["records"]:
         if rec["name"] == "floor_overhead" and rec["metric"] == "overhead_frac":
             overhead = rec["value"]
         if (rec["name"] == "registry" and rec["metric"] == "ns_per_op"
                 and rec["params"].get("op") == "disabled"):
             disabled_ns = rec["value"]
+        if rec["name"] == "sampler" and rec["metric"] == "us_per_tick":
+            tick_us = rec["value"]
+        if rec["name"] == "health" and rec["metric"] == "us_per_eval":
+            eval_us = rec["value"]
 
     if overhead is None:
         problems.append("no floor_overhead/overhead_frac record in artifact")
@@ -175,6 +189,24 @@ def check_obs_overhead(path, floors_path, problems):
             problems.append(
                 f"disabled instrument site costs {disabled_ns:.2f} ns "
                 f"(> {max_disabled:.1f} ns: no longer just a null check)")
+    if tick_us is None:
+        problems.append("no sampler/us_per_tick record in artifact")
+    else:
+        print(f"sampler tick: {tick_us:.2f} us "
+              f"(gate: <= {max_tick:.0f} us)")
+        if tick_us > max_tick:
+            problems.append(
+                f"time-series sampler tick costs {tick_us:.2f} us "
+                f"(> {max_tick:.0f} us)")
+    if eval_us is None:
+        problems.append("no health/us_per_eval record in artifact")
+    else:
+        print(f"health rule evaluation: {eval_us:.2f} us "
+              f"(gate: <= {max_eval:.0f} us)")
+        if eval_us > max_eval:
+            problems.append(
+                f"health rule evaluation costs {eval_us:.2f} us "
+                f"(> {max_eval:.0f} us)")
 
 
 def main():

@@ -1,0 +1,201 @@
+#!/usr/bin/env python3
+"""Lint a Prometheus text-exposition file (obs::to_prometheus output).
+
+Validates the subset of the exposition format (version 0.0.4) the floor
+emits, so CI catches a malformed --prom file without needing promtool:
+
+  - metric and label names match the Prometheus grammar
+  - every sample is preceded by # HELP and # TYPE lines for its family
+  - counter sample names end in _total
+  - histogram families carry the full triplet: cumulative, non-decreasing
+    _bucket{le=...} series ending in le="+Inf", plus _sum and _count,
+    with bucket(+Inf) == _count
+  - sample values parse as floats; no duplicate sample lines
+
+Usage:
+  check_prom.py FILE [FILE...]      exit 1 and print errors if any fail
+Importable: validate_text(text) -> list of error strings (empty = clean).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+
+METRIC_NAME_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def _family_of(name: str) -> str:
+    """Base family name of a sample (strips histogram/counter suffixes)."""
+    for suffix in ("_bucket", "_sum", "_count", "_total"):
+        if name.endswith(suffix):
+            return name[: -len(suffix)]
+    return name
+
+
+def validate_text(text: str) -> list:
+    errors = []
+    helped = set()  # families with # HELP seen
+    typed = {}  # family -> declared type
+    seen_samples = set()  # (name, labels) for duplicate detection
+    # family -> list of (le, value) for histogram bucket checks
+    buckets = {}
+    sums = {}
+    counts = {}
+    sample_families = set()
+
+    for lineno, line in enumerate(text.splitlines(), 1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line.split(None, 3)
+            if len(parts) < 4:
+                errors.append(f"line {lineno}: HELP without text: {line!r}")
+                continue
+            helped.add(parts[2])
+            continue
+        if line.startswith("# TYPE "):
+            parts = line.split()
+            if len(parts) != 4 or parts[3] not in (
+                "counter",
+                "gauge",
+                "histogram",
+                "summary",
+                "untyped",
+            ):
+                errors.append(f"line {lineno}: malformed TYPE: {line!r}")
+                continue
+            typed[parts[2]] = parts[3]
+            continue
+        if line.startswith("#"):
+            continue  # other comments are legal
+
+        m = SAMPLE_RE.match(line)
+        if not m:
+            errors.append(f"line {lineno}: unparseable sample: {line!r}")
+            continue
+        name, labels, value = m.group("name"), m.group("labels"), m.group("value")
+        if not METRIC_NAME_RE.match(name):
+            errors.append(f"line {lineno}: bad metric name: {name!r}")
+            continue
+        try:
+            fvalue = float(value)
+        except ValueError:
+            errors.append(f"line {lineno}: bad sample value: {value!r}")
+            continue
+
+        label_pairs = []
+        if labels:
+            for part in labels.split(","):
+                lm = LABEL_RE.match(part.strip())
+                if not lm:
+                    errors.append(f"line {lineno}: bad label: {part!r}")
+                    break
+                label_pairs.append((lm.group(1), lm.group(2)))
+
+        key = (name, labels or "")
+        if key in seen_samples:
+            errors.append(f"line {lineno}: duplicate sample: {line!r}")
+        seen_samples.add(key)
+
+        family = _family_of(name)
+        sample_families.add(family)
+        declared = typed.get(family) or typed.get(name)
+        if declared is None:
+            errors.append(f"line {lineno}: sample {name!r} has no # TYPE")
+            continue
+        if family not in helped and name not in helped:
+            errors.append(f"line {lineno}: sample {name!r} has no # HELP")
+
+        if declared == "counter" and not name.endswith("_total"):
+            errors.append(
+                f"line {lineno}: counter sample {name!r} must end in _total"
+            )
+        if declared == "histogram":
+            if name.endswith("_bucket"):
+                le = dict(label_pairs).get("le")
+                if le is None:
+                    errors.append(f"line {lineno}: _bucket without le label")
+                else:
+                    buckets.setdefault(family, []).append((le, fvalue))
+            elif name.endswith("_sum"):
+                sums[family] = fvalue
+            elif name.endswith("_count"):
+                counts[family] = fvalue
+            else:
+                errors.append(
+                    f"line {lineno}: histogram sample {name!r} has no "
+                    "_bucket/_sum/_count suffix"
+                )
+
+    # Histogram family invariants.
+    for family, declared in typed.items():
+        if declared != "histogram" or family not in sample_families:
+            continue
+        fam_buckets = buckets.get(family, [])
+        if not fam_buckets:
+            errors.append(f"histogram {family}: no _bucket samples")
+            continue
+        if fam_buckets[-1][0] != "+Inf":
+            errors.append(f"histogram {family}: last bucket is not +Inf")
+        prev = -1.0
+        for le, v in fam_buckets:
+            if v < prev:
+                errors.append(
+                    f"histogram {family}: bucket le={le} not cumulative "
+                    f"({v} < {prev})"
+                )
+            prev = v
+        if family not in sums:
+            errors.append(f"histogram {family}: missing _sum")
+        if family not in counts:
+            errors.append(f"histogram {family}: missing _count")
+        elif fam_buckets[-1][0] == "+Inf" and fam_buckets[-1][1] != counts[family]:
+            errors.append(
+                f"histogram {family}: bucket(+Inf)={fam_buckets[-1][1]} "
+                f"!= _count={counts[family]}"
+            )
+
+    if not sample_families:
+        errors.append("no samples found")
+    return errors
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__)
+        return 2
+    status = 0
+    for path in argv[1:]:
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                text = fh.read()
+        except OSError as exc:
+            print(f"{path}: cannot read: {exc}")
+            status = 1
+            continue
+        errors = validate_text(text)
+        if errors:
+            status = 1
+            for err in errors:
+                print(f"{path}: {err}")
+        else:
+            families = len(
+                {
+                    line.split()[2]
+                    for line in text.splitlines()
+                    if line.startswith("# TYPE ")
+                }
+            )
+            print(f"{path}: OK ({families} metric families)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -49,15 +49,21 @@ def print_snapshot(s):
     trace = s.get("trace", {})
 
     completed = s.get("completed", 0)
-    uptime = s.get("uptime_seconds", 0.0)
+    # elapsed_seconds is the rate denominator the schema guarantees;
+    # uptime_seconds is the pre-health-engine name of the same value.
+    elapsed = s.get("elapsed_seconds", s.get("uptime_seconds", 0.0))
+    jobs_per_sec = completed / elapsed if elapsed > 0 else 0.0
     print(f"floor: {completed}/{s.get('submitted', 0)} jobs over "
-          f"{s.get('workers', 0)} worker(s) in {fmt_secs(uptime)}"
-          f" ({s.get('in_flight', 0)} in flight, {s.get('errored', 0)} errored,"
+          f"{s.get('workers', 0)} worker(s) in {fmt_secs(elapsed)}"
+          f" ({jobs_per_sec:.1f} jobs/s,"
+          f" {s.get('in_flight', 0)} in flight, {s.get('errored', 0)} errored,"
           f" utilization {s.get('utilization', 0.0):.1%})")
     if not s.get("metrics_enabled", False):
         print("  metrics: disabled (run with --stats-json or FloorConfig::metrics)")
+    capacity = queue.get("capacity", 0)
     print(f"  queue: depth={queue.get('depth', 0)}"
-          f" high_water={queue.get('high_water', 0)}"
+          + (f"/{capacity}" if capacity else "")
+          + f" high_water={queue.get('high_water', 0)}"
           f" pushed={queue.get('pushed', 0)} popped={queue.get('popped', 0)}"
           f" steals={queue.get('steals', 0)}"
           f" backpressure={queue.get('backpressure_engages', 0)}")
@@ -131,15 +137,30 @@ def print_diff(old, new):
         print("  (no change)")
 
 
-def digest_line(s):
-    """One-line live digest of a snapshot, for tailing a stats stream."""
-    queue = s.get("queue", {})
+def _hits(s):
     cache = s.get("cache", {})
-    print(f"[{s.get('uptime_seconds', 0.0):7.2f}s] "
+    return cache.get("program_hits", 0) + cache.get("verdict_hits", 0)
+
+
+def digest_line(s, prev=None):
+    """One-line live digest of a snapshot. With a previous snapshot the
+    counters become per-interval *rates* (jobs/s, hits/s over the elapsed
+    delta) — a tail shows whether the floor is moving now, not how far it
+    has come. Flushed per line so piping into another tool works."""
+    queue = s.get("queue", {})
+    t = s.get("elapsed_seconds", s.get("uptime_seconds", 0.0))
+    rates = ""
+    if prev is not None:
+        dt = t - prev.get("elapsed_seconds", prev.get("uptime_seconds", 0.0))
+        if dt > 0:
+            jobs_rate = (s.get("completed", 0) - prev.get("completed", 0)) / dt
+            hits_rate = (_hits(s) - _hits(prev)) / dt
+            rates = f"jobs/s={jobs_rate:.1f} hits/s={hits_rate:.1f} "
+    print(f"[{t:7.2f}s] "
           f"done={s.get('completed', 0)}/{s.get('submitted', 0)} "
+          f"{rates}"
           f"inflight={s.get('in_flight', 0)} "
           f"depth={queue.get('depth', 0)} "
-          f"hit_rate={cache.get('hit_rate', 0.0):.0%} "
           f"util={s.get('utilization', 0.0):.0%}",
           flush=True)
 
@@ -160,7 +181,7 @@ def tail_stdin():
         if len(snapshots) > 1:
             if len(snapshots) == 2:
                 digest_line(snapshots[0])
-            digest_line(s)
+            digest_line(s, snapshots[-2])
     if len(snapshots) == 1:
         print_snapshot(snapshots[0])
     return 0 if snapshots else 1
