@@ -7,7 +7,11 @@
 ///   explore [--cores N] [--profile mixed|scan_heavy|bist_heavy|hierarchical]
 ///           [--seed S] [--instance I] [--widths 8,16,32]
 ///           [--strategies greedy,phased,branch_bound] [--node-budget K]
+///           [--sched-threads T]
 ///
+/// --sched-threads drives the branch-and-bound search's worker pool
+/// (1 = serial, 0 = one per hardware thread); the search is deterministic,
+/// so every reported number is identical at any thread count.
 /// Pareto-optimal (time, area) points are marked '*' in the table.
 
 #include <cstdint>
@@ -24,7 +28,8 @@ namespace {
 constexpr const char* kOptionsHelp =
     "[--cores N] [--profile mixed|scan_heavy|bist_heavy|hierarchical]"
     " [--seed S] [--instance I] [--widths 8,16,32]"
-    " [--strategies greedy,phased,branch_bound] [--node-budget K]";
+    " [--strategies greedy,phased,branch_bound] [--node-budget K]"
+    " [--sched-threads T]";
 
 }  // namespace
 
@@ -47,6 +52,8 @@ int main(int argc, char** argv) {
       else if (cli.is("--instance")) instance = std::stoul(cli.value());
       else if (cli.is("--node-budget"))
         config.branch_bound.node_budget = std::stoul(cli.value());
+      else if (cli.is("--sched-threads"))
+        config.branch_bound.threads = std::stoul(cli.value());
       else if (cli.is("--widths")) {
         config.widths.clear();
         for (const std::string& w : split(cli.value(), ','))

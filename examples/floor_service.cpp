@@ -17,9 +17,12 @@
 /// instead of the batch adapter: jobs are submitted while the workers run
 /// (throttled by --queue-capacity) and results are printed as they
 /// complete, in arrival order. --cache sets the per-worker program-cache
-/// capacity (0 disables). --summary additionally prints the deterministic
-/// aggregate summary — the text that is guaranteed byte-identical for any
-/// worker count, batch or streaming, cache on or off, at a fixed seed.
+/// capacity (0 disables). --sim-threads / --sched-threads set each job's
+/// golden-response precompute and branch-and-bound scheduling thread
+/// pools (pure engine knobs; 0 = one per hardware thread). --summary
+/// additionally prints the deterministic aggregate summary — the text
+/// that is guaranteed byte-identical for any worker count, batch or
+/// streaming, cache on or off, any engine-thread counts, at a fixed seed.
 ///
 /// Telemetry (docs/OBSERVABILITY.md):
 ///   --stats-json FILE       write the final FloorStats snapshot as
@@ -70,7 +73,8 @@ constexpr const char* kOptionsHelp =
     " [--scenario-mix scan:4,bist:2,hier:1,maint:1]"
     " [--strategy single|per_core|greedy|phased|exact|branch_bound]"
     " [--patterns-per-ff K] [--queue-capacity Q] [--cache C]"
-    " [--sim-threads T] [--sweep-sim] [--stream] [--summary]"
+    " [--sim-threads T] [--sched-threads T] [--sweep-sim] [--stream]"
+    " [--summary]"
     " [--stats-json FILE] [--trace FILE] [--stats-interval-ms N]"
     " [--health] [--health-interval-ms N] [--watchdog-ms N]"
     " [--incident-dir DIR] [--health-json FILE] [--prom FILE]";
@@ -262,6 +266,8 @@ int main(int argc, char** argv) {
         config.cache_capacity = std::stoul(cli.value());
       else if (cli.is("--sim-threads"))
         config.sim_threads = std::stoul(cli.value());
+      else if (cli.is("--sched-threads"))
+        config.sched_threads = std::stoul(cli.value());
       else if (cli.is("--sweep-sim")) config.event_sim = !cli.boolean();
       else if (cli.is("--stream")) stream = cli.boolean();
       else if (cli.is("--summary")) summary = cli.boolean();

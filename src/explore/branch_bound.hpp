@@ -1,17 +1,46 @@
 /// \file branch_bound.hpp
 /// Best-first branch-and-bound session scheduling — the scalable optimal /
-/// proven-gap counterpart of sched::exact_schedule.
+/// proven-gap counterpart of sched::exact_schedule, multi-threaded since
+/// PR 10.
 ///
 /// The search walks the same space (set partitions of the scan cores into
 /// sessions; BIST engines slotted greedily at the leaves by
-/// sched::price_scan_partition) but best-first over the shared balance
-/// lower bound (sched/lower_bound.hpp), with a node budget and an anytime
-/// incumbent: on paper-sized SoCs it exhausts the space and *proves*
-/// optimality; on 100–1000-core synthetic SoCs it stops at the budget and
-/// reports the incumbent together with a certified lower bound (the
-/// smallest f of any open node), i.e. a proven optimality gap — the
+/// sched::price_scan_partition) but best-first over the shared balance +
+/// BIST-slot lower bounds (sched/lower_bound.hpp), with a node budget and
+/// an anytime incumbent: on paper-sized SoCs it exhausts the space and
+/// *proves* optimality; on 100–1000-core synthetic SoCs it stops at the
+/// budget and reports the incumbent together with a certified lower bound
+/// (the smallest f of any open node), i.e. a proven optimality gap — the
 /// branch-and-bound-with-balance-bound engine the ROADMAP scheduling item
 /// calls for.
+///
+/// ## Parallel search (BranchBoundConfig::threads)
+/// The frontier is sharded into per-thread local min-heaps over an
+/// arena of shared prefix nodes. The search runs in synchronous rounds:
+/// a serial selection phase pops the cheapest still-viable nodes from
+/// every shard, workers expand / price them in parallel against a
+/// round-start incumbent snapshot, and a serial merge applies children,
+/// incumbent offers, and counters in selection order. Empty shards steal
+/// work from the fullest frontier at each round boundary.
+///
+/// ## Termination proof
+/// Every open node's f is an admissible lower bound on every completion
+/// of its prefix, and every generated child either enters some shard heap
+/// or is pruned with f >= incumbent. The search therefore ends only when
+/// each shard heap's cheapest node (and hence every open node anywhere)
+/// cannot beat the incumbent — at which point the incumbent is optimal —
+/// or when the node budget is exhausted, where the minimum f across all
+/// shard tops certifies the reported lower bound.
+///
+/// ## Determinism
+/// In deterministic mode (the default) the shard count and the whole
+/// round structure are independent of the thread count, workers compute
+/// pure functions of round-start snapshots, and the merge is serial — so
+/// the incumbent schedule, optimality verdict, certified lower bound and
+/// all counters are byte-identical at any `threads` value. That is what
+/// makes `threads` safe to exclude from floor cache keys (see
+/// floor::JobSimOptions). Non-deterministic mode trades this for eager
+/// lock-free incumbent publication (atomic min) and live pruning.
 
 #pragma once
 
@@ -36,6 +65,16 @@ struct BranchBoundConfig {
   /// Cap on greedy dives (full-partition pricing is the expensive step on
   /// huge instances).
   std::size_t max_dives = 16;
+  /// Worker threads for the search; 1 = serial, 0 = one per hardware
+  /// thread. Expansion, leaf pricing and greedy dives all parallelize.
+  std::size_t threads = 1;
+  /// Fixed round structure (16 frontier shards, synchronous rounds,
+  /// serial merge): incumbent, optimality verdict, certified lower bound
+  /// and every counter are byte-identical at any thread count. When
+  /// false, workers publish incumbent improvements immediately (lock-free
+  /// atomic min) and prune against the live value — often faster, but
+  /// results may vary run to run on tie-broken instances.
+  bool deterministic = true;
 };
 
 /// Search outcome.
@@ -53,6 +92,9 @@ struct BranchBoundResult {
   std::uint64_t prunes = 0;
   /// Times a priced partition replaced the incumbent (seeding included).
   std::uint64_t incumbent_improvements = 0;
+  /// Round boundaries at which an empty frontier shard stole open nodes
+  /// from the fullest one (parallel search telemetry).
+  std::uint64_t rebalances = 0;
   bool optimal = false;  ///< search space exhausted within the budget
 
   /// Proven optimality gap: incumbent / lower_bound − 1 (0 when optimal).
@@ -71,7 +113,8 @@ class BranchBoundScheduler {
   explicit BranchBoundScheduler(const sched::SessionScheduler& scheduler,
                                 BranchBoundConfig config = {});
 
-  /// Runs the search (const — every call is independent and identical).
+  /// Runs the search (const — every call is independent, and in
+  /// deterministic mode identical).
   [[nodiscard]] BranchBoundResult run() const;
 
  private:

@@ -206,11 +206,13 @@ void run_scheduled(const JobSpec& spec, bool with_engines, Rng& rng,
     auto fresh = std::make_shared<soc::CompiledProgram>();
     fresh->specs = soc::specs_of(*soc, spec.patterns_per_ff);
     sched::ScheduleStats sched_stats;
-    fresh->schedule = sched::schedule_with(
-        fresh->specs, soc->bus().width(), spec.strategy, &sched_stats);
+    fresh->schedule =
+        sched::schedule_with(fresh->specs, soc->bus().width(), spec.strategy,
+                             &sched_stats, sim.sched_threads);
     result.engine.sched_nodes_expanded = sched_stats.nodes_expanded;
     result.engine.sched_prunes = sched_stats.prunes;
     result.engine.sched_improvements = sched_stats.incumbent_improvements;
+    result.engine.sched_leaves_priced = sched_stats.leaves_priced;
     timer.finish(Stage::Schedule);
     fresh->pattern_seed = pattern_seed;
     if (cache) cache->put_program(spec, fresh);
@@ -471,6 +473,7 @@ void emit_job_telemetry(const JobTelemetry& obs, const JobResult& result,
     reg.add(ids.sched_nodes, e.sched_nodes_expanded);
     reg.add(ids.sched_prunes, e.sched_prunes);
     reg.add(ids.sched_improvements, e.sched_improvements);
+    reg.add(ids.sched_leaves, e.sched_leaves_priced);
   }
   if (obs.trace != nullptr) {
     obs::TraceSpan span;

@@ -132,6 +132,7 @@ struct JobEngineCounters {
   std::uint64_t sched_nodes_expanded = 0;  ///< B&B expansions (0 otherwise)
   std::uint64_t sched_prunes = 0;          ///< B&B children cut by bound
   std::uint64_t sched_improvements = 0;    ///< B&B incumbent adoptions
+  std::uint64_t sched_leaves_priced = 0;   ///< B&B full partitions priced
 };
 
 /// Outcome of one job. Every field except wall_seconds, stage_seconds,
@@ -192,6 +193,12 @@ struct JobSimOptions {
   /// 0 = one per hardware thread). Responses depend only on (core,
   /// pattern), so the thread count cannot change any result.
   std::size_t sim_threads = 1;
+  /// Threads for the Schedule stage's branch-and-bound search when the
+  /// spec selects Strategy::BranchBound (1 = serial, 0 = one per hardware
+  /// thread; other strategies ignore it). The search runs in
+  /// deterministic mode, so the schedule is byte-identical at any thread
+  /// count — which is what keeps this knob out of JobSpec::cache_key.
+  std::size_t sched_threads = 1;
 };
 
 /// Observability hooks handed to run_job by the floor (all optional —

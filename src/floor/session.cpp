@@ -167,6 +167,7 @@ FloorStats FloorSession::stats_snapshot() const {
   stats.sched_nodes_expanded = snap.counter("floor.sched.nodes_expanded");
   stats.sched_prunes = snap.counter("floor.sched.prunes");
   stats.sched_improvements = snap.counter("floor.sched.improvements");
+  stats.sched_leaves_priced = snap.counter("floor.sched.leaves_priced");
   for (std::size_t s = 0; s < kStageCount; ++s) {
     const obs::HistogramSnapshot* h = snap.histogram(
         std::string("floor.stage.") + stage_name(static_cast<Stage>(s)) +
@@ -214,7 +215,8 @@ void FloorSession::worker_main(std::size_t worker) {
         std::memory_order_relaxed);
     JobResult result =
         run_job(job->spec, cache_ptr, config_.verify,
-                JobSimOptions{config_.event_sim, config_.sim_threads},
+                JobSimOptions{config_.event_sim, config_.sim_threads,
+                              config_.sched_threads},
                 obs);
     const auto end = std::chrono::steady_clock::now();
     job_start_us_[worker].store(kWorkerIdle, std::memory_order_relaxed);

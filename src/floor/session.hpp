@@ -27,9 +27,10 @@
 /// off, and to an equivalent batch TestFloor::run over the same list.
 /// Caches cannot break this because compilation is pure (see job.hpp);
 /// stealing cannot because results land by slot, never by completion.
-/// The simulation-engine knobs (event_sim, sim_threads) cannot either:
-/// both are pure optimisations of the Simulate stage (see JobSimOptions
-/// in job.hpp and the measured cost model in docs/PERFORMANCE.md).
+/// The engine knobs (event_sim, sim_threads, sched_threads) cannot
+/// either: all are pure optimisations of the Simulate / Schedule stages
+/// (see JobSimOptions in job.hpp and the measured cost model in
+/// docs/PERFORMANCE.md).
 
 #pragma once
 
@@ -91,6 +92,13 @@ struct FloorConfig {
   /// many. Cannot change any deterministic result or the
   /// deterministic_summary() text.
   std::size_t sim_threads = 1;
+  /// Branch-and-bound search threads inside each job's Schedule stage
+  /// (JobSimOptions::sched_threads; 1 = serial, 0 = one per hardware
+  /// thread; only Strategy::BranchBound jobs use it). Same multiplication
+  /// trade-off as sim_threads. The search runs deterministically, so this
+  /// cannot change any deterministic result or the
+  /// deterministic_summary() text either.
+  std::size_t sched_threads = 1;
   /// Enables the metrics registry (src/obs/): per-thread-sharded counters
   /// and stage-latency histograms, surfaced by stats_snapshot(). Pure
   /// observation — cannot change any deterministic result or the

@@ -24,6 +24,7 @@ FloorMetricIds register_floor_metrics(obs::Registry& registry) {
   ids.sched_nodes = registry.counter("floor.sched.nodes_expanded");
   ids.sched_prunes = registry.counter("floor.sched.prunes");
   ids.sched_improvements = registry.counter("floor.sched.improvements");
+  ids.sched_leaves = registry.counter("floor.sched.leaves_priced");
   const std::vector<double> buckets = obs::Registry::latency_buckets_us();
   for (std::size_t s = 0; s < kStageCount; ++s) {
     ids.stage_us[s] = registry.histogram(
@@ -87,7 +88,8 @@ std::string FloorStats::to_json() const {
      << ",\"sweep_cell_evals\":" << sim_sweep_cell_evals
      << "},\"sched\":{\"nodes_expanded\":" << sched_nodes_expanded
      << ",\"prunes\":" << sched_prunes
-     << ",\"improvements\":" << sched_improvements << "},\"stages\":{";
+     << ",\"improvements\":" << sched_improvements
+     << ",\"leaves_priced\":" << sched_leaves_priced << "},\"stages\":{";
   for (std::size_t s = 0; s < kStageCount; ++s) {
     if (s != 0) os << ',';
     const StageDigest& d = stages[s];

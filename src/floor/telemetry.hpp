@@ -46,10 +46,13 @@ struct FloorMetricIds {
   obs::MetricId sim_eval_passes{};      ///< floor.sim.eval_passes
   obs::MetricId sim_cell_evals{};       ///< floor.sim.cell_evals
   obs::MetricId sim_sweep_cell_evals{}; ///< floor.sim.sweep_cell_evals
-  // Branch-and-bound scheduling effort.
+  // Branch-and-bound scheduling effort. Per-thread-sharded like every
+  // registry counter: B&B worker threads aggregate into the same stable
+  // names regardless of JobSimOptions::sched_threads.
   obs::MetricId sched_nodes{};          ///< floor.sched.nodes_expanded
   obs::MetricId sched_prunes{};         ///< floor.sched.prunes
   obs::MetricId sched_improvements{};   ///< floor.sched.improvements
+  obs::MetricId sched_leaves{};         ///< floor.sched.leaves_priced
   // Per-stage latency histograms (µs), indexed by Stage.
   std::array<obs::MetricId, kStageCount> stage_us{};  ///< floor.stage.*.us
 };
@@ -104,6 +107,7 @@ struct FloorStats {
   std::uint64_t sched_nodes_expanded = 0;
   std::uint64_t sched_prunes = 0;
   std::uint64_t sched_improvements = 0;
+  std::uint64_t sched_leaves_priced = 0;
 
   // Per-stage latency digests, indexed by Stage.
   std::array<StageDigest, kStageCount> stages{};

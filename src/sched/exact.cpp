@@ -166,9 +166,11 @@ ExactResult exact_schedule(const SessionScheduler& scheduler,
            core_session_lower_bound(cores[b], width);
   });
 
-  // Instance-wide wire-time conservation term of the node bound.
+  // Instance-wide terms of the node bound: wire-time conservation and the
+  // BIST chunking pigeonhole (both floors on the summed session maxima).
   const std::uint64_t work_bound =
-      (total_wire_work(cores) + width - 1) / width;
+      std::max((total_wire_work(cores) + width - 1) / width,
+               bist_chunk_bound(cores, width));
 
   // Incumbent: greedy's scan partition, re-priced by the shared evaluator
   // so the seed is exactly comparable with search leaves.
@@ -214,8 +216,10 @@ ExactResult exact_schedule(const SessionScheduler& scheduler,
       structural += bound_of[g] - saved_bound;
 
       const std::uint64_t node_bound = std::max(
-          structural,
-          work_bound + config * static_cast<std::uint64_t>(groups.size()));
+          structural + config * partition_overflow_floor(groups.size(),
+                                                         bist.size(), width),
+          work_bound + config * partition_session_floor(groups.size(),
+                                                        bist.size(), width));
       if (node_bound >= best_total)
         ++result.subtrees_pruned;
       else

@@ -59,4 +59,44 @@ struct GroupBound {
     const std::vector<CoreTestSpec>& cores, unsigned width,
     std::uint64_t config_cycles);
 
+// --- Partition-model bounds -------------------------------------------
+//
+// The three functions below are admissible versus the *partition pricing
+// model* shared by sched::exact_schedule and explore::BranchBoundScheduler
+// (price_scan_partition): a scan session keeps at least one scan wire, so
+// it hosts at most width-1 BIST riders, and every engine that does not
+// ride gets a dedicated single-engine session. They are deliberately NOT
+// folded into schedule_lower_bound's universal claim: rail emulation
+// serializes engines on one wire of one rail, which can beat the per-
+// session chunking these bounds assume (engines {10,1,1,1} on 2 wires run
+// in 10 cycles on a rail but no 1-rider-per-session partition does).
+
+/// Minimum number of sessions any completion of a prefix with
+/// \p scan_groups open scan groups can end with, counting the dedicated
+/// sessions its \p bist_engines force. Minimized over every possible
+/// final group count >= scan_groups, so it is admissible at interior
+/// search nodes, and reduces to max(1, scan_groups) when there are no
+/// engines (the classical reconfiguration term).
+[[nodiscard]] std::uint64_t partition_session_floor(std::size_t scan_groups,
+                                                    std::size_t bist_engines,
+                                                    unsigned width);
+
+/// Minimum number of sessions any completion must add *beyond* those a
+/// prefix's structural term already pays for: new scan groups opened plus
+/// dedicated engine-overflow sessions, whichever mix is cheapest. Each
+/// such session costs at least one reconfiguration, so
+/// structural + config * partition_overflow_floor(...) is admissible.
+[[nodiscard]] std::uint64_t partition_overflow_floor(std::size_t scan_groups,
+                                                     std::size_t bist_engines,
+                                                     unsigned width);
+
+/// Pigeonhole bound on the summed per-session BIST terms: engines sorted
+/// by length and chunked at the per-session rider capacity max(1,
+/// width-1); the sum of chunk heads. Any assignment of engines to
+/// sessions (each hosting at most that many, each session costing at
+/// least its longest engine) sums to at least this — so it joins
+/// total_wire_work / width as a floor on the summed session maxima.
+[[nodiscard]] std::uint64_t bist_chunk_bound(
+    const std::vector<CoreTestSpec>& cores, unsigned width);
+
 }  // namespace casbus::sched

@@ -8,6 +8,8 @@ Usage:
                                         #   record schema in FILE
     check_bench_json.py --obs FILE      # + require the telemetry-overhead
                                         #   record schema in FILE
+    check_bench_json.py --explore FILE  # + require the parallel-B&B
+                                        #   record schema in FILE
 
 Each file must parse as JSON and carry a non-empty "records" array whose
 entries have the flat JsonReporter shape: name, params (str->str map),
@@ -144,6 +146,53 @@ def check_obs_schema(path: pathlib.Path) -> list[str]:
     return problems
 
 
+# (name, metric) pairs bench_explore must emit for the parallel
+# branch-and-bound section; the CI exploration gates
+# (check_perf_gates.py --explore) consume bound_gap, speedup_vs_1_thread,
+# deterministic_match and hw_threads, so their absence must fail loudly
+# rather than skip the gate.
+EXPLORE_REQUIRED_RECORDS = (
+    ("parallel_bb", "bound_gap"),
+    ("parallel_bb", "nodes_per_sec"),
+    ("parallel_bb", "schedule_seconds"),
+    ("parallel_bb_throughput", "nodes_per_sec"),
+    ("parallel_bb_throughput", "speedup_vs_1_thread"),
+    ("parallel_bb_throughput", "deterministic_match"),
+    ("parallel_bb_throughput", "hw_threads"),
+)
+
+EXPLORE_REQUIRED_THREADS = ("1", "2", "4", "8")
+
+
+def check_explore_schema(path: pathlib.Path) -> list[str]:
+    """Checks the parallel branch-and-bound record contract."""
+    try:
+        with path.open() as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError):
+        return []  # unparseable: check_file already reported it
+    records = doc.get("records")
+    if not isinstance(records, list):
+        return []
+
+    problems = []
+    have = {(r.get("name"), r.get("metric")) for r in records
+            if isinstance(r, dict)}
+    for name, metric in EXPLORE_REQUIRED_RECORDS:
+        if (name, metric) not in have:
+            problems.append(
+                f"{path}: missing explore record name={name} metric={metric}")
+    for name in ("parallel_bb", "parallel_bb_throughput"):
+        threads = {r["params"].get("sched_threads") for r in records
+                   if isinstance(r, dict) and r.get("name") == name
+                   and isinstance(r.get("params"), dict)}
+        for t in EXPLORE_REQUIRED_THREADS:
+            if t not in threads:
+                problems.append(
+                    f"{path}: missing {name} row sched_threads={t}")
+    return problems
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("files", nargs="*", type=pathlib.Path)
@@ -165,6 +214,12 @@ def main() -> int:
         metavar="FILE",
         help="also require the telemetry-overhead record schema in FILE",
     )
+    parser.add_argument(
+        "--explore",
+        type=pathlib.Path,
+        metavar="FILE",
+        help="also require the parallel-B&B record schema in FILE",
+    )
     args = parser.parse_args()
 
     files = list(args.files)
@@ -174,6 +229,8 @@ def main() -> int:
         files.append(args.floor)
     if args.obs is not None and args.obs not in files:
         files.append(args.obs)
+    if args.explore is not None and args.explore not in files:
+        files.append(args.explore)
     if not files:
         print("check_bench_json: no files to check", file=sys.stderr)
         return 2
@@ -185,6 +242,8 @@ def main() -> int:
         problems.extend(check_floor_schema(args.floor))
     if args.obs is not None:
         problems.extend(check_obs_schema(args.obs))
+    if args.explore is not None:
+        problems.extend(check_explore_schema(args.explore))
     for problem in problems:
         print(problem, file=sys.stderr)
     if not problems:

@@ -4,8 +4,9 @@
 Usage:
     check_perf_gates.py BENCH_perf.json [--floors tools/bench_floors.json]
     check_perf_gates.py --obs BENCH_obs.json --floors tools/bench_floors.json
+    check_perf_gates.py --explore BENCH_explore.json
 
-Four families of checks (docs/PERFORMANCE.md and docs/OBSERVABILITY.md
+Five families of checks (docs/PERFORMANCE.md and docs/OBSERVABILITY.md
 record the models they guard):
 
 1. Absolute floors (--floors): each entry of the floors file names a
@@ -38,6 +39,17 @@ record the models they guard):
    catalogue is capped at 'obs.max_sampler_tick_us' and one
    HealthMonitor evaluation at 'obs.max_health_eval_us', so the
    background health loop can never grow into a tax on the floor.
+
+5. Parallel branch and bound (--explore, over BENCH_explore.json from
+   bench_explore): (a) the gap ladder's highest-thread-count row must
+   certify a 1000-core bound gap strictly below both the single-thread
+   population row in the same artifact and the 1.71 absolute ceiling the
+   serial engine recorded before the parallel search landed — the gap is
+   only ever allowed to move down; (b) deterministic mode must have held
+   (every fixed-work throughput row byte-identical to the 1-thread run);
+   (c) nodes/sec scaling on the fixed-work search, hw-aware like the
+   fault-sim gate: >= 2.5x at 8 threads on hosts with >= 8 hardware
+   threads, >= 1.8x at 4 threads with 4-7, skipped below 4.
 
 Exits non-zero with one line per violated gate.
 """
@@ -138,6 +150,99 @@ def check_thread_scaling(values, problems):
             f"threads (< {required}x on {hw:.0f}-thread host)")
 
 
+# The serial engine's certified 1000-core gap before the parallel search
+# landed (BENCH_explore.json population row, node budget 600): 171.70%.
+# The ladder must stay strictly under it, forever.
+EXPLORE_GAP_CEILING = 1.71
+
+
+def load_records(path):
+    """Returns the raw records list of a JsonReporter artifact."""
+    doc = json.loads(pathlib.Path(path).read_text())
+    return [r for r in doc["records"] if r.get("value") is not None]
+
+
+def check_explore_gates(path, problems):
+    """Parallel branch-and-bound gates over BENCH_explore.json."""
+    records = load_records(path)
+
+    # (a) Certified-gap ladder: highest-thread-count row vs the
+    # single-thread population row and the absolute ceiling.
+    ladder = {int(r["params"]["sched_threads"]): r["value"]
+              for r in records
+              if r["name"] == "parallel_bb" and r["metric"] == "bound_gap"}
+    if not ladder:
+        problems.append("no parallel_bb bound_gap records in artifact")
+    else:
+        top_threads = max(ladder)
+        top_gap = ladder[top_threads]
+        serial = [r["value"] for r in records
+                  if r["name"] == "population"
+                  and r["metric"] == "bound_gap"
+                  and r["params"].get("strategy") == "branch_bound"
+                  and r["params"].get("cores") == "1000"]
+        print(f"1000-core certified gap at {top_threads} threads: "
+              f"{100 * top_gap:.2f}% "
+              f"(ceiling: < {100 * EXPLORE_GAP_CEILING:.0f}%)")
+        if top_gap >= EXPLORE_GAP_CEILING:
+            problems.append(
+                f"parallel B&B certified gap is {100 * top_gap:.2f}% at "
+                f"{top_threads} threads "
+                f"(>= {100 * EXPLORE_GAP_CEILING:.0f}% ceiling)")
+        if serial and top_gap >= serial[0]:
+            problems.append(
+                f"parallel B&B certified gap {100 * top_gap:.2f}% did not "
+                f"beat the single-thread population row "
+                f"({100 * serial[0]:.2f}%)")
+
+    # (b) Determinism: every fixed-work row must match the 1-thread run.
+    matches = [(int(r["params"]["sched_threads"]), r["value"])
+               for r in records
+               if r["name"] == "parallel_bb_throughput"
+               and r["metric"] == "deterministic_match"]
+    if not matches:
+        problems.append(
+            "no parallel_bb_throughput deterministic_match records")
+    for threads, match in sorted(matches):
+        if match != 1:
+            problems.append(
+                f"deterministic mode diverged at {threads} threads "
+                f"(fixed-work search not byte-identical to 1 thread)")
+
+    # (c) hw-aware nodes/sec scaling on the fixed-work search.
+    speedups = {int(r["params"]["sched_threads"]): r["value"]
+                for r in records
+                if r["name"] == "parallel_bb_throughput"
+                and r["metric"] == "speedup_vs_1_thread"}
+    hw_vals = [r["value"] for r in records
+               if r["name"] == "parallel_bb_throughput"
+               and r["metric"] == "hw_threads"]
+    hw = hw_vals[0] if hw_vals else None
+    if not speedups:
+        problems.append("no parallel_bb_throughput speedup records")
+        return
+    if hw is None or hw < 4:
+        best = max(speedups.values())
+        print(f"B&B thread scaling: {best:.2f}x best — gate skipped "
+              f"(host has {hw} hardware threads, need >= 4)")
+        return
+    if hw >= 8:
+        threads, required = 8, THREAD_SPEEDUP_MIN_8HW
+    else:
+        threads, required = 4, THREAD_SPEEDUP_MIN_4HW
+    speedup = speedups.get(threads)
+    if speedup is None:
+        problems.append(f"no parallel_bb_throughput speedup row at "
+                        f"{threads} threads")
+        return
+    print(f"B&B thread scaling: {speedup:.2f}x nodes/sec at {threads} "
+          f"threads (gate: >= {required}x on {hw:.0f} hardware threads)")
+    if speedup < required:
+        problems.append(
+            f"parallel B&B nodes/sec scaling is {speedup:.2f}x at "
+            f"{threads} threads (< {required}x on {hw:.0f}-thread host)")
+
+
 DEFAULT_OBS_MAX_OVERHEAD = 0.05
 DEFAULT_OBS_MAX_DISABLED_NS = 5.0
 DEFAULT_OBS_MAX_SAMPLER_TICK_US = 50.0
@@ -216,19 +321,25 @@ def main():
     parser.add_argument("--obs", metavar="FILE",
                         help="check telemetry-overhead gates over "
                              "BENCH_obs.json instead of the perf gates")
+    parser.add_argument("--explore", metavar="FILE",
+                        help="check parallel branch-and-bound gates over "
+                             "BENCH_explore.json instead of the perf gates")
     args = parser.parse_args()
 
     problems = []
     if args.obs:
         check_obs_overhead(args.obs, args.floors, problems)
+    if args.explore:
+        check_explore_gates(args.explore, problems)
     if args.artifact:
         values = load_values(args.artifact)
         if args.floors:
             check_floors(values, args.floors, problems)
         check_event_speedup(values, problems)
         check_thread_scaling(values, problems)
-    elif not args.obs:
-        parser.error("need BENCH_perf.json and/or --obs BENCH_obs.json")
+    elif not args.obs and not args.explore:
+        parser.error("need BENCH_perf.json, --obs BENCH_obs.json, "
+                     "and/or --explore BENCH_explore.json")
 
     for problem in problems:
         print(f"GATE FAILED: {problem}", file=sys.stderr)

@@ -84,7 +84,8 @@ def print_snapshot(s):
           f" sweep_cell_evals={sim.get('sweep_cell_evals', 0)}")
     print(f"  sched: nodes={sched.get('nodes_expanded', 0)}"
           f" prunes={sched.get('prunes', 0)}"
-          f" improvements={sched.get('improvements', 0)}")
+          f" improvements={sched.get('improvements', 0)}"
+          f" leaves_priced={sched.get('leaves_priced', 0)}")
     stages = s.get("stages", {})
     if any(d.get("count", 0) for d in stages.values()):
         print("  stages:")
